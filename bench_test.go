@@ -1,0 +1,199 @@
+// Benchmark harness: one testing.B per reconstructed table/figure of the
+// paper's evaluation (experiments E1..E11, see DESIGN.md §4). Each benchmark
+// regenerates its table and reports headline metrics; the full tables print
+// on the first iteration.
+//
+// The per-point instruction budget defaults to 200k so `go test -bench=.`
+// finishes in minutes; set FDIP_BENCH_INSTRS to raise it for
+// publication-quality numbers (cmd/fdipbench is the stand-alone runner).
+package fdip
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"fdip/internal/experiments"
+	"fdip/internal/oracle"
+	"fdip/internal/program"
+	"fdip/internal/stats"
+)
+
+func benchInstrs() uint64 {
+	if s := os.Getenv("FDIP_BENCH_INSTRS"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 200_000
+}
+
+func newRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Options{Instrs: benchInstrs()})
+}
+
+// runExperiment executes fn once per iteration, printing the table on the
+// first and reporting rows as a sanity metric.
+func runExperiment(b *testing.B, fn func(r *experiments.Runner) *stats.Table) {
+	b.ReportAllocs()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		r := newRunner()
+		t := fn(r)
+		rows = t.NumRows()
+		if i == 0 {
+			fmt.Printf("\n%s\n", t)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkE1Characterization regenerates the workload characterisation
+// table (footprints, baseline miss rates, branch behaviour).
+func BenchmarkE1Characterization(b *testing.B) {
+	runExperiment(b, experiments.E1Characterization)
+}
+
+// BenchmarkE2SpeedupSmallCache regenerates the headline speedup comparison
+// (FDP vs next-line vs stream buffers) at a 16KB L1-I.
+func BenchmarkE2SpeedupSmallCache(b *testing.B) {
+	runExperiment(b, experiments.E2SpeedupSmallCache)
+}
+
+// BenchmarkE3SpeedupLargeCache regenerates the 32KB L1-I comparison.
+func BenchmarkE3SpeedupLargeCache(b *testing.B) {
+	runExperiment(b, experiments.E3SpeedupLargeCache)
+}
+
+// BenchmarkE4BusUtilization regenerates the bus-utilisation comparison.
+func BenchmarkE4BusUtilization(b *testing.B) {
+	runExperiment(b, experiments.E4BusUtilization)
+}
+
+// BenchmarkE5CacheProbeFiltering regenerates the filtering-policy study.
+func BenchmarkE5CacheProbeFiltering(b *testing.B) {
+	runExperiment(b, experiments.E5CacheProbeFiltering)
+}
+
+// BenchmarkE6FTQSweep regenerates the FTQ-depth sensitivity figure.
+func BenchmarkE6FTQSweep(b *testing.B) {
+	runExperiment(b, experiments.E6FTQSweep)
+}
+
+// BenchmarkE7PrefetchBufferSweep regenerates the prefetch-buffer sizing
+// figure.
+func BenchmarkE7PrefetchBufferSweep(b *testing.B) {
+	runExperiment(b, experiments.E7PrefetchBufferSweep)
+}
+
+// BenchmarkE8LatencySensitivity regenerates the memory-latency sensitivity
+// figure.
+func BenchmarkE8LatencySensitivity(b *testing.B) {
+	runExperiment(b, experiments.E8LatencySensitivity)
+}
+
+// BenchmarkE9CoverageAccuracy regenerates the coverage/accuracy table.
+func BenchmarkE9CoverageAccuracy(b *testing.B) {
+	runExperiment(b, experiments.E9CoverageAccuracy)
+}
+
+// BenchmarkE10FTBSweep regenerates the FTB-reach ablation.
+func BenchmarkE10FTBSweep(b *testing.B) {
+	runExperiment(b, experiments.E10FTBSweep)
+}
+
+// BenchmarkE11PredictorAblation regenerates the predictor/BTB-organisation
+// ablation.
+func BenchmarkE11PredictorAblation(b *testing.B) {
+	runExperiment(b, experiments.E11Ablation)
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (cycles/second) of the default machine with FDP enabled — the cost of one
+// experimental point.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	params := program.DefaultParams()
+	params.NumFuncs = 300
+	im := program.MustGenerate(params)
+	cfg := DefaultConfig()
+	cfg.Prefetch.Kind = PrefetchFDP
+	cfg.Prefetch.FDP.CPF = CPFConservative
+	cfg.MaxInstrs = 1 << 62
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSimulator(cfg, im, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.StepN(100_000)
+		cycles += sim.Cycle()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkOracleWalker measures ground-truth execution speed.
+func BenchmarkOracleWalker(b *testing.B) {
+	params := program.DefaultParams()
+	params.NumFuncs = 300
+	im := program.MustGenerate(params)
+	w := oracle.NewWalker(im, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Next()
+	}
+}
+
+// BenchmarkTraceRoundTrip measures trace encode+decode per instruction.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	params := program.DefaultParams()
+	params.NumFuncs = 100
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var n uint64 = 50_000
+		var buf writeCounter
+		if err := WriteTrace(&buf, params, 3, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type writeCounter struct{ n int }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkE12WrongPathPIQ regenerates the redirect-policy ablation
+// (extension).
+func BenchmarkE12WrongPathPIQ(b *testing.B) {
+	runExperiment(b, experiments.E12WrongPathPIQ)
+}
+
+// BenchmarkE13TagPortSweep regenerates the tag-port ablation (extension).
+func BenchmarkE13TagPortSweep(b *testing.B) {
+	runExperiment(b, experiments.E13TagPortSweep)
+}
+
+// BenchmarkE14FetchWidthSweep regenerates the fetch-width sensitivity
+// (extension).
+func BenchmarkE14FetchWidthSweep(b *testing.B) {
+	runExperiment(b, experiments.E14FetchWidthSweep)
+}
+
+// BenchmarkE15StreamGeometry regenerates the stream-buffer geometry sweep
+// (extension).
+func BenchmarkE15StreamGeometry(b *testing.B) {
+	runExperiment(b, experiments.E15StreamGeometry)
+}
+
+// BenchmarkE16PerfectBound regenerates the perfect-L1-I upper-bound
+// comparison (extension).
+func BenchmarkE16PerfectBound(b *testing.B) {
+	runExperiment(b, experiments.E16PerfectBound)
+}

@@ -1,0 +1,93 @@
+// Command fdipbench runs the full reconstructed evaluation (experiments
+// E1..E11 from DESIGN.md) plus the extension ablations (E12..E16) and prints
+// the paper-style tables.
+//
+//	fdipbench                      # full suite, 1M instructions per point
+//	fdipbench -instrs 250000      # quicker pass
+//	fdipbench -only E2,E5          # selected experiments
+//	fdipbench -workloads gcc,perl  # restricted benchmark set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fdip/internal/experiments"
+	"fdip/internal/stats"
+	"fdip/internal/workloads"
+)
+
+func main() {
+	var (
+		instrs  = flag.Uint64("instrs", 1_000_000, "committed instructions per simulation point")
+		only    = flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
+		wls     = flag.String("workloads", "", "comma-separated workload names; empty = all")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Instrs: *instrs}
+	if *wls != "" {
+		for _, name := range strings.Split(*wls, ",") {
+			w, ok := workloads.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fdipbench: unknown workload %q\n", name)
+				os.Exit(2)
+			}
+			opts.Workloads = append(opts.Workloads, w)
+		}
+	}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+	r := experiments.NewRunner(opts)
+
+	type exp struct {
+		id  string
+		run func(*experiments.Runner) *stats.Table
+	}
+	suite := []exp{
+		{"E1", experiments.E1Characterization},
+		{"E2", experiments.E2SpeedupSmallCache},
+		{"E3", experiments.E3SpeedupLargeCache},
+		{"E4", experiments.E4BusUtilization},
+		{"E5", experiments.E5CacheProbeFiltering},
+		{"E6", experiments.E6FTQSweep},
+		{"E7", experiments.E7PrefetchBufferSweep},
+		{"E8", experiments.E8LatencySensitivity},
+		{"E9", experiments.E9CoverageAccuracy},
+		{"E10", experiments.E10FTBSweep},
+		{"E11", experiments.E11Ablation},
+		{"E12", experiments.E12WrongPathPIQ},
+		{"E13", experiments.E13TagPortSweep},
+		{"E14", experiments.E14FetchWidthSweep},
+		{"E15", experiments.E15StreamGeometry},
+		{"E16", experiments.E16PerfectBound},
+	}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	start := time.Now()
+	for _, e := range suite {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		t := e.run(r)
+		if *csv {
+			fmt.Printf("# %s\n", t.Title)
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "fdipbench: %d simulations in %s\n", r.Simulations, time.Since(start).Round(time.Millisecond))
+}

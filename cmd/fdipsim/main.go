@@ -1,0 +1,108 @@
+// Command fdipsim runs a single front-end simulation and prints the
+// measurement report.
+//
+// Examples:
+//
+//	fdipsim -prefetcher fdp -cpf conservative -instrs 2000000
+//	fdipsim -funcs 2000 -l1i 32768 -prefetcher streambuf
+//	fdipsim -workload vortex -prefetcher fdp -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fdip/internal/core"
+	"fdip/internal/oracle"
+	"fdip/internal/prefetch"
+	"fdip/internal/program"
+	"fdip/internal/workloads"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "", "named workload (see -list); overrides -funcs")
+		list       = flag.Bool("list", false, "list named workloads and exit")
+		funcs      = flag.Int("funcs", 400, "functions in the synthetic program (ignored with -workload)")
+		seed       = flag.Int64("seed", 1, "generation/execution seed")
+		instrs     = flag.Uint64("instrs", 1_000_000, "instructions to simulate")
+		l1iBytes   = flag.Int("l1i", 16*1024, "L1-I size in bytes")
+		ftqEntries = flag.Int("ftq", 32, "FTQ entries")
+		pfKind     = flag.String("prefetcher", "none", "none|nextline|streambuf|fdp")
+		cpf        = flag.String("cpf", "off", "FDP cache-probe filtering: off|conservative|optimistic")
+		removeCPF  = flag.Bool("remove-cpf", false, "FDP remove-side filtering")
+		ftbSets    = flag.Int("ftb-sets", 512, "FTB sets")
+		compare    = flag.Bool("compare", false, "also run the no-prefetch baseline and print the speedup")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-10s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	var (
+		im  *program.Image
+		err error
+	)
+	if *workload != "" {
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fdipsim: unknown workload %q (try -list)\n", *workload)
+			os.Exit(2)
+		}
+		im, err = program.Generate(w.Params)
+	} else {
+		p := program.DefaultParams()
+		p.Seed = *seed
+		p.NumFuncs = *funcs
+		im, err = program.Generate(p)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdipsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MaxInstrs = *instrs
+	cfg.L1ISizeBytes = *l1iBytes
+	cfg.FTQEntries = *ftqEntries
+	cfg.FTB.Sets = *ftbSets
+	cfg.Prefetch.Kind = core.PrefetcherKind(*pfKind)
+	switch *cpf {
+	case "off":
+	case "conservative":
+		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+	case "optimistic":
+		cfg.Prefetch.FDP.CPF = prefetch.CPFOptimistic
+	default:
+		fmt.Fprintf(os.Stderr, "fdipsim: unknown cpf mode %q\n", *cpf)
+		os.Exit(2)
+	}
+	cfg.Prefetch.FDP.RemoveCPF = *removeCPF
+
+	run := func(c core.Config) core.Result {
+		p, err := core.New(c, im, oracle.NewWalker(im, *seed+1000))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdipsim: %v\n", err)
+			os.Exit(1)
+		}
+		return p.Run()
+	}
+
+	fmt.Printf("program: %d funcs, %d KB code, entry %#x\n",
+		len(im.Funcs), im.Size()/1024, im.Entry)
+	res := run(cfg)
+	fmt.Println(res)
+
+	if *compare {
+		base := cfg
+		base.Prefetch.Kind = core.PrefetchNone
+		baseRes := run(base)
+		fmt.Printf("baseline IPC       %.3f\n", baseRes.IPC)
+		fmt.Printf("speedup            %+.2f%%\n", res.SpeedupPctOver(baseRes))
+	}
+}

@@ -1,0 +1,78 @@
+// Command tracegen writes compact binary instruction traces of the named
+// workloads (or an ad-hoc synthetic program) for later replay with
+// fdip.ReplayTrace or examples/tracereplay.
+//
+//	tracegen -workload vortex -n 2000000 -o vortex.fdiptrace
+//	tracegen -funcs 500 -seed 7 -n 1000000 -o custom.fdiptrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fdip/internal/oracle"
+	"fdip/internal/program"
+	"fdip/internal/trace"
+	"fdip/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "named workload (overrides -funcs/-seed)")
+		funcs    = flag.Int("funcs", 400, "functions in the synthetic program")
+		seed     = flag.Int64("seed", 1, "generation and walker seed")
+		n        = flag.Uint64("n", 1_000_000, "instructions to trace")
+		out      = flag.String("o", "trace.fdiptrace", "output file")
+	)
+	flag.Parse()
+
+	params := program.DefaultParams()
+	walkSeed := *seed + 1000
+	if *workload != "" {
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		params = w.Params
+		walkSeed = w.Seed
+	} else {
+		params.Seed = *seed
+		params.NumFuncs = *funcs
+	}
+
+	im, err := program.Generate(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	tw, err := trace.NewWriter(f, params, walkSeed, im)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	w := oracle.NewWalker(im, walkSeed)
+	for i := uint64(0); i < *n; i++ {
+		rec, _ := w.Next()
+		tw.Append(rec)
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d instructions, %d CTI events, %d bytes (%.3f B/instr)\n",
+		*out, *n, tw.Events(), st.Size(), float64(st.Size())/float64(*n))
+}

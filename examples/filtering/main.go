@@ -1,0 +1,58 @@
+// Filtering: a close-up of cache-probe filtering, the paper's mechanism for
+// keeping useless prefetches off the bus.
+//
+// The example runs one instruction-bound workload under every filtering
+// policy and shows where candidate prefetches go: issued, filtered by an
+// enqueue-time probe, removed by a late probe, or dropped as duplicates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdip"
+)
+
+func main() {
+	w, ok := fdip.WorkloadByName("vortex")
+	if !ok {
+		log.Fatal("vortex workload missing")
+	}
+
+	base := fdip.DefaultConfig()
+	base.MaxInstrs = 500_000
+	baseRes, err := fdip.RunWorkload(base, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: baseline IPC %.3f, %.1f would-be misses per kinstr\n\n",
+		w.Name, baseRes.IPC, baseRes.MissPKI)
+
+	type variant struct {
+		name   string
+		cpf    fdip.CPFMode
+		remove bool
+	}
+	for _, v := range []variant{
+		{"no filtering", fdip.CPFOff, false},
+		{"enqueue, conservative", fdip.CPFConservative, false},
+		{"enqueue, optimistic", fdip.CPFOptimistic, false},
+		{"remove only", fdip.CPFOff, true},
+		{"conservative + remove", fdip.CPFConservative, true},
+	} {
+		cfg := base
+		cfg.Prefetch.Kind = fdip.PrefetchFDP
+		cfg.Prefetch.FDP.CPF = v.cpf
+		cfg.Prefetch.FDP.RemoveCPF = v.remove
+		res, err := fdip.RunWorkload(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s speedup %+6.1f%%  bus %5.1f%%  useful %5.1f%%  issued %d\n",
+			v.name, res.SpeedupPctOver(baseRes), res.BusUtilPct, res.UsefulPct, res.PrefetchIssued)
+	}
+
+	fmt.Println("\nReading the table: filtering trades a little coverage for a much")
+	fmt.Println("cleaner bus — conservative enqueue-probing keeps nearly all of the")
+	fmt.Println("speedup while cutting bus occupancy by more than half.")
+}

@@ -1,0 +1,186 @@
+// Package fdip is the public API of the fetch-directed instruction
+// prefetching simulator — a from-scratch Go reproduction of "Fetch Directed
+// Instruction Prefetching" (Reinman, Calder, Austin; MICRO-32, 1999).
+//
+// The library simulates a decoupled front end (branch predictor + fetch
+// target queue + fetch engine) over synthetic but behaviourally calibrated
+// program images, with fetch-directed prefetching, cache-probe filtering,
+// and the paper's baselines (tagged next-line prefetching, stream buffers).
+//
+// Quick start:
+//
+//	im, _ := fdip.GenerateProgram(fdip.DefaultProgramParams())
+//	cfg := fdip.DefaultConfig()
+//	cfg.Prefetch.Kind = fdip.PrefetchFDP
+//	res, _ := fdip.Run(cfg, im, 1)
+//	fmt.Println(res)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+// evaluation.
+package fdip
+
+import (
+	"io"
+
+	"fdip/internal/core"
+	"fdip/internal/oracle"
+	"fdip/internal/prefetch"
+	"fdip/internal/program"
+	"fdip/internal/trace"
+	"fdip/internal/workloads"
+)
+
+// Re-exported configuration and result types. These aliases are the public
+// names; the internal packages are implementation detail.
+type (
+	// Config describes the simulated machine.
+	Config = core.Config
+	// Result is the measurement snapshot of a run.
+	Result = core.Result
+	// PrefetcherKind selects a prefetch scheme.
+	PrefetcherKind = core.PrefetcherKind
+	// PrefetchConfig tunes the selected scheme.
+	PrefetchConfig = core.PrefetchConfig
+	// FDPConfig tunes fetch-directed prefetching.
+	FDPConfig = prefetch.FDPConfig
+	// CPFMode selects the cache-probe-filtering policy.
+	CPFMode = prefetch.CPFMode
+	// ProgramParams control synthetic program generation.
+	ProgramParams = program.Params
+	// Image is a generated static program.
+	Image = program.Image
+	// Workload is a named, calibrated benchmark.
+	Workload = workloads.Workload
+)
+
+// Prefetch scheme names.
+const (
+	PrefetchNone     = core.PrefetchNone
+	PrefetchNextLine = core.PrefetchNextLine
+	PrefetchStream   = core.PrefetchStream
+	PrefetchFDP      = core.PrefetchFDP
+)
+
+// Cache-probe-filtering modes.
+const (
+	CPFOff          = prefetch.CPFOff
+	CPFConservative = prefetch.CPFConservative
+	CPFOptimistic   = prefetch.CPFOptimistic
+)
+
+// DefaultConfig returns the paper-inspired baseline machine (16KB 2-way
+// L1-I, 32-entry FTQ, hybrid predictor, 512x4 FTB, no prefetching).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultProgramParams returns a moderate synthetic program description.
+func DefaultProgramParams() ProgramParams { return program.DefaultParams() }
+
+// GenerateProgram builds a synthetic program image.
+func GenerateProgram(p ProgramParams) (*Image, error) { return program.Generate(p) }
+
+// Workloads returns the calibrated benchmark suite (stand-ins for the
+// paper's SPEC95/C++ programs).
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName finds a benchmark by name ("gcc", "vortex", ...).
+func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// Run simulates cfg over the image with branch outcomes drawn from seed,
+// returning the final measurements.
+func Run(cfg Config, im *Image, seed int64) (Result, error) {
+	p, err := core.New(cfg, im, oracle.NewWalker(im, seed))
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Run(), nil
+}
+
+// RunWorkload simulates cfg over a named workload.
+func RunWorkload(cfg Config, w Workload) (Result, error) {
+	im, err := program.Generate(w.Params)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := core.New(cfg, im, oracle.NewWalker(im, w.Seed))
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Run(), nil
+}
+
+// Simulator exposes cycle-level control for callers that want to observe the
+// machine mid-run (examples, visualisation, tests).
+type Simulator struct {
+	p *core.Processor
+}
+
+// NewSimulator assembles a machine without running it.
+func NewSimulator(cfg Config, im *Image, seed int64) (*Simulator, error) {
+	p, err := core.New(cfg, im, oracle.NewWalker(im, seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{p: p}, nil
+}
+
+// Step advances one cycle.
+func (s *Simulator) Step() { s.p.Step() }
+
+// StepN advances n cycles.
+func (s *Simulator) StepN(n int) {
+	for i := 0; i < n; i++ {
+		s.p.Step()
+	}
+}
+
+// Cycle returns the current cycle number.
+func (s *Simulator) Cycle() int64 { return s.p.Now() }
+
+// Committed returns instructions retired so far.
+func (s *Simulator) Committed() uint64 { return s.p.Committed() }
+
+// Run finishes the simulation per the config's limits and returns results.
+func (s *Simulator) Run() Result { return s.p.Run() }
+
+// Snapshot returns measurements at the current cycle without stopping.
+func (s *Simulator) Snapshot() Result { return s.p.Finalize() }
+
+// WriteTrace executes n instructions of the program generated from params
+// (walker seeded with seed) and writes a compact binary trace to w.
+func WriteTrace(w io.Writer, params ProgramParams, seed int64, n uint64) error {
+	im, err := program.Generate(params)
+	if err != nil {
+		return err
+	}
+	walker := oracle.NewWalker(im, seed)
+	tw, err := trace.NewWriter(w, params, seed, im)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		rec, ok := walker.Next()
+		if !ok {
+			break
+		}
+		tw.Append(rec)
+	}
+	return tw.Flush()
+}
+
+// ReplayTrace simulates cfg over a previously written trace; the program
+// image is regenerated from the trace header. The run ends at the trace's
+// recorded horizon even if cfg.MaxInstrs is larger.
+func ReplayTrace(r io.Reader, cfg Config) (Result, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := core.New(cfg, tr.Image(), tr)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Run(), nil
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"

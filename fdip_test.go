@@ -1,0 +1,163 @@
+package fdip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallImage(t testing.TB) *Image {
+	t.Helper()
+	p := DefaultProgramParams()
+	p.NumFuncs = 80
+	p.Seed = 21
+	im, err := GenerateProgram(p)
+	if err != nil {
+		t.Fatalf("GenerateProgram: %v", err)
+	}
+	return im
+}
+
+func TestRunFacade(t *testing.T) {
+	im := smallImage(t)
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 50_000
+	res, err := Run(cfg, im, 3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Committed < cfg.MaxInstrs {
+		t.Errorf("committed %d", res.Committed)
+	}
+	if res.Prefetcher != "none" {
+		t.Errorf("prefetcher = %q", res.Prefetcher)
+	}
+}
+
+func TestRunWorkloadFacade(t *testing.T) {
+	w, ok := WorkloadByName("deltablue")
+	if !ok {
+		t.Fatal("deltablue missing")
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 50_000
+	cfg.Prefetch.Kind = PrefetchFDP
+	res, err := RunWorkload(cfg, w)
+	if err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+	if !strings.HasPrefix(res.Prefetcher, "fdp") {
+		t.Errorf("prefetcher = %q", res.Prefetcher)
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 8 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	if _, ok := WorkloadByName("nope"); ok {
+		t.Error("bogus workload resolved")
+	}
+}
+
+func TestSimulatorStepping(t *testing.T) {
+	im := smallImage(t)
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 30_000
+	sim, err := NewSimulator(cfg, im, 5)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	sim.StepN(1000)
+	if sim.Cycle() != 1000 {
+		t.Errorf("Cycle = %d", sim.Cycle())
+	}
+	mid := sim.Snapshot()
+	if mid.Cycles != 1000 {
+		t.Errorf("snapshot cycles = %d", mid.Cycles)
+	}
+	if sim.Committed() == 0 {
+		t.Error("nothing committed in 1000 cycles")
+	}
+	final := sim.Run()
+	if final.Committed < cfg.MaxInstrs {
+		t.Errorf("final committed = %d", final.Committed)
+	}
+	if final.Cycles <= mid.Cycles {
+		t.Error("Run did not continue past snapshot")
+	}
+}
+
+func TestSimulatorMatchesRun(t *testing.T) {
+	im := smallImage(t)
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 40_000
+	direct, err := Run(cfg, im, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(cfg, im, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped := sim.Run()
+	if direct != stepped {
+		t.Error("Run and Simulator.Run diverge for the same seed")
+	}
+}
+
+func TestTraceRoundTripFacade(t *testing.T) {
+	p := DefaultProgramParams()
+	p.NumFuncs = 60
+	p.Seed = 31
+	const n = 40_000
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, p, 4, n); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = n
+	replayed, err := ReplayTrace(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatalf("ReplayTrace: %v", err)
+	}
+
+	im, err := GenerateProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Run(cfg, im, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Cycles != replayed.Cycles || live.IPC != replayed.IPC {
+		t.Errorf("replay not cycle-exact: live %d cycles, replay %d", live.Cycles, replayed.Cycles)
+	}
+}
+
+func TestReplayTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReplayTrace(strings.NewReader("not a trace at all"), DefaultConfig()); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}
+
+func TestConfigErrorsSurface(t *testing.T) {
+	im := smallImage(t)
+	cfg := DefaultConfig()
+	cfg.Prefetch.Kind = "hexray"
+	if _, err := Run(cfg, im, 1); err == nil {
+		t.Error("bad prefetcher accepted")
+	}
+	if _, err := NewSimulator(cfg, im, 1); err == nil {
+		t.Error("bad prefetcher accepted by NewSimulator")
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version == "" {
+		t.Error("empty Version")
+	}
+}

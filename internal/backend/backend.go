@@ -1,0 +1,262 @@
+// Package backend models the execution core behind the decoupled front end:
+// a decode pipe, a reorder buffer with a register scoreboard (out-of-order
+// issue within a window, in-order commit), and branch resolution.
+//
+// The study targets the front end, so the backend is deliberately simple but
+// honest about what matters to it: instruction consumption rate, window
+// occupancy, execution latency before a branch resolves, and in-order commit
+// of correct-path work only.
+package backend
+
+import (
+	"fmt"
+
+	"fdip/internal/isa"
+	"fdip/internal/pipe"
+)
+
+// Config sizes the backend.
+type Config struct {
+	// ROBSize is the reorder buffer capacity.
+	ROBSize int
+	// IssueWidth and CommitWidth bound per-cycle issue and commit.
+	IssueWidth, CommitWidth int
+	// IssueWindow is how many unissued entries the scheduler examines per
+	// cycle (a cheap stand-in for scheduler size).
+	IssueWindow int
+	// DecodeLatency is the fetch-to-rename depth in cycles.
+	DecodeLatency int
+	// PipeCap is the decode pipe capacity in instructions; it is the
+	// backpressure the fetch engine sees.
+	PipeCap int
+}
+
+// DefaultConfig returns the paper-inspired 8-wide, 128-entry core.
+func DefaultConfig() Config {
+	return Config{ROBSize: 128, IssueWidth: 8, CommitWidth: 8, IssueWindow: 32, DecodeLatency: 3, PipeCap: 32}
+}
+
+func (c *Config) setDefaults() {
+	d := DefaultConfig()
+	if c.ROBSize <= 0 {
+		c.ROBSize = d.ROBSize
+	}
+	if c.IssueWidth <= 0 {
+		c.IssueWidth = d.IssueWidth
+	}
+	if c.CommitWidth <= 0 {
+		c.CommitWidth = d.CommitWidth
+	}
+	if c.IssueWindow <= 0 {
+		c.IssueWindow = d.IssueWindow
+	}
+	if c.DecodeLatency < 0 {
+		c.DecodeLatency = d.DecodeLatency
+	}
+	if c.PipeCap <= 0 {
+		c.PipeCap = d.PipeCap
+	}
+}
+
+type robEntry struct {
+	u      pipe.Uop
+	issued bool
+	done   int64
+}
+
+type pipeEntry struct {
+	u     pipe.Uop
+	ready int64
+}
+
+// Backend is the execution model.
+type Backend struct {
+	cfg Config
+
+	rob   []robEntry
+	head  int
+	count int
+
+	regReady [isa.NumRegs]int64
+	dpipe    []pipeEntry
+	dpHead   int
+
+	missPresent bool
+	missIssued  bool
+	missDone    int64
+	missUop     pipe.Uop
+
+	// OnCommit, when set, observes every committed (correct-path) uop —
+	// the core uses it for predictor/FTB training and statistics.
+	OnCommit func(u *pipe.Uop)
+
+	// Committed counts architecturally retired instructions; Issued all
+	// issues including wrong-path; Squashed entries discarded by
+	// redirects; ROBFullCycles cycles rename stalled on a full ROB.
+	Committed, Issued, Squashed uint64
+	ROBFullCycles               uint64
+	// MispredictsResolved counts redirects returned, by kind.
+	MispredictsResolved [5]uint64
+}
+
+// New builds a backend.
+func New(cfg Config) *Backend {
+	cfg.setDefaults()
+	return &Backend{cfg: cfg, rob: make([]robEntry, cfg.ROBSize)}
+}
+
+// Config returns the normalised configuration.
+func (b *Backend) Config() Config { return b.cfg }
+
+// Accept returns how many instructions the decode pipe can take this cycle.
+func (b *Backend) Accept() int { return b.cfg.PipeCap - (len(b.dpipe) - b.dpHead) }
+
+// Drained reports whether no work remains anywhere in the backend.
+func (b *Backend) Drained() bool { return b.count == 0 && len(b.dpipe) == b.dpHead }
+
+// ROBOccupancy returns the live ROB entry count.
+func (b *Backend) ROBOccupancy() int { return b.count }
+
+// Deliver accepts fetched uops into the decode pipe at cycle now.
+func (b *Backend) Deliver(uops []pipe.Uop, now int64) {
+	for _, u := range uops {
+		b.dpipe = append(b.dpipe, pipeEntry{u: u, ready: now + int64(b.cfg.DecodeLatency)})
+	}
+}
+
+// Tick advances one cycle. It returns the resolved misprediction to redirect
+// on, if any; the backend has already squashed its own younger work, and the
+// caller must repair the front end (FTQ, BPU, prefetcher).
+func (b *Backend) Tick(now int64) (pipe.Uop, bool) {
+	b.fill(now)
+	redirect, ok := b.resolve(now)
+	b.commit(now)
+	b.issue(now)
+	return redirect, ok
+}
+
+// fill moves decoded instructions into the ROB.
+func (b *Backend) fill(now int64) {
+	for b.dpHead < len(b.dpipe) && b.dpipe[b.dpHead].ready <= now {
+		if b.count == b.cfg.ROBSize {
+			b.ROBFullCycles++
+			return
+		}
+		u := b.dpipe[b.dpHead].u
+		b.dpHead++
+		if b.dpHead == len(b.dpipe) {
+			b.dpipe = b.dpipe[:0]
+			b.dpHead = 0
+		} else if b.dpHead > 4*b.cfg.PipeCap {
+			// Compact so the backing array stays bounded.
+			n := copy(b.dpipe, b.dpipe[b.dpHead:])
+			b.dpipe = b.dpipe[:n]
+			b.dpHead = 0
+		}
+		idx := (b.head + b.count) % b.cfg.ROBSize
+		b.rob[idx] = robEntry{u: u}
+		b.count++
+		if u.Mispredicted {
+			if b.missPresent {
+				panic(fmt.Sprintf("backend: second in-flight mispredict (seq %d after %d)", u.Seq, b.missUop.Seq))
+			}
+			b.missPresent = true
+			b.missIssued = false
+			b.missUop = u
+		}
+	}
+}
+
+// resolve fires the pending misprediction once it has executed, squashing
+// everything younger immediately so the same cycle's commit/issue never see
+// dead work.
+func (b *Backend) resolve(now int64) (pipe.Uop, bool) {
+	if b.missPresent && b.missIssued && b.missDone <= now {
+		b.missPresent = false
+		b.MispredictsResolved[b.missUop.MissKind]++
+		b.SquashAfter(b.missUop.Seq)
+		return b.missUop, true
+	}
+	return pipe.Uop{}, false
+}
+
+// commit retires completed instructions in order.
+func (b *Backend) commit(now int64) {
+	for n := 0; n < b.cfg.CommitWidth && b.count > 0; n++ {
+		e := &b.rob[b.head]
+		if !e.issued || e.done > now {
+			return
+		}
+		if !e.u.OnCorrectPath {
+			// Wrong-path work is removed by SquashAfter, never committed;
+			// reaching here means the redirect protocol was violated.
+			panic(fmt.Sprintf("backend: wrong-path uop seq %d at commit head", e.u.Seq))
+		}
+		if b.OnCommit != nil {
+			b.OnCommit(&e.u)
+		}
+		b.Committed++
+		b.head = (b.head + 1) % b.cfg.ROBSize
+		b.count--
+	}
+}
+
+// issue selects ready instructions within the scheduler window.
+func (b *Backend) issue(now int64) {
+	issued := 0
+	examined := 0
+	for i := 0; i < b.count && issued < b.cfg.IssueWidth && examined < b.cfg.IssueWindow; i++ {
+		e := &b.rob[(b.head+i)%b.cfg.ROBSize]
+		if e.issued {
+			continue
+		}
+		examined++
+		if !b.ready(e.u.Instr, now) {
+			continue
+		}
+		e.issued = true
+		lat := e.u.Instr.Kind.Latency()
+		e.done = now + int64(lat)
+		if d := e.u.Instr.Dst; d != isa.NoReg && d != 0 {
+			b.regReady[d] = e.done
+		}
+		if e.u.Mispredicted && b.missPresent && e.u.Seq == b.missUop.Seq {
+			b.missIssued = true
+			b.missDone = e.done
+		}
+		b.Issued++
+		issued++
+	}
+}
+
+// ready checks the register scoreboard. Register 0 and NoReg are always
+// ready.
+func (b *Backend) ready(ins isa.Instr, now int64) bool {
+	if s := ins.Src1; s != isa.NoReg && s != 0 && b.regReady[s] > now {
+		return false
+	}
+	if s := ins.Src2; s != isa.NoReg && s != 0 && b.regReady[s] > now {
+		return false
+	}
+	return true
+}
+
+// SquashAfter removes every instruction younger than seq — ROB tail entries
+// and the whole decode pipe (anything decoded after a resolving branch is
+// younger by construction).
+func (b *Backend) SquashAfter(seq uint64) {
+	for b.count > 0 {
+		tail := (b.head + b.count - 1) % b.cfg.ROBSize
+		if b.rob[tail].u.Seq <= seq {
+			break
+		}
+		b.count--
+		b.Squashed++
+	}
+	b.Squashed += uint64(len(b.dpipe) - b.dpHead)
+	b.dpipe = b.dpipe[:0]
+	b.dpHead = 0
+	// A squashed younger mispredict cannot exist (only one correct-path
+	// mispredict is ever in flight), so missPresent stays untouched unless
+	// it was the resolving branch itself, which resolve() already cleared.
+}

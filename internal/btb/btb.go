@@ -1,0 +1,265 @@
+// Package btb implements the branch target storage used by the
+// branch-prediction unit: the fetch-block-oriented fetch target buffer (FTB)
+// from the original paper, and a conventional per-branch BTB used as an
+// ablation.
+//
+// A fetch block is straight-line code that ends at the first control
+// transfer; the FTB maps a block's start address to the block length, the
+// terminating CTI's kind, and its most recent taken target. A conventional
+// BTB instead maps each branch address to its kind and target, which costs
+// extra lookup bandwidth (one probe per sequential instruction) but no
+// block-length storage.
+package btb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fdip/internal/isa"
+)
+
+// Config sizes a target buffer.
+type Config struct {
+	// Sets is the number of sets; rounded up to a power of two.
+	Sets int
+	// Ways is the set associativity.
+	Ways int
+	// BlockOriented selects the FTB organisation (true) or the
+	// conventional per-branch BTB (false).
+	BlockOriented bool
+	// MaxBlockInstrs caps predicted fetch-block length; it also bounds the
+	// probe loop in conventional mode. Must fit the entry's length field.
+	MaxBlockInstrs int
+	// AddrBits is the virtual address width used for storage accounting.
+	AddrBits int
+}
+
+// DefaultConfig returns the baseline 512-set 4-way FTB with 8-instruction
+// fetch blocks in a 48-bit address space.
+func DefaultConfig() Config {
+	return Config{Sets: 512, Ways: 4, BlockOriented: true, MaxBlockInstrs: 8, AddrBits: 48}
+}
+
+func (c *Config) setDefaults() {
+	d := DefaultConfig()
+	if c.Sets <= 0 {
+		c.Sets = d.Sets
+	}
+	c.Sets = ceilPow2(c.Sets)
+	if c.Ways <= 0 {
+		c.Ways = d.Ways
+	}
+	if c.MaxBlockInstrs <= 0 {
+		c.MaxBlockInstrs = d.MaxBlockInstrs
+	}
+	if c.MaxBlockInstrs > 31 {
+		c.MaxBlockInstrs = 31 // 5-bit length field, like the paper
+	}
+	if c.AddrBits <= 0 {
+		c.AddrBits = d.AddrBits
+	}
+}
+
+// Pred is a fetch-block prediction returned by PredictBlock.
+type Pred struct {
+	// NumInstrs is the block length in instructions, including the CTI.
+	NumInstrs int
+	// CTI is the terminating control transfer's kind.
+	CTI isa.Kind
+	// Target is the last observed taken target of the CTI.
+	Target uint64
+}
+
+type entry struct {
+	valid  bool
+	tag    uint64
+	stamp  uint64
+	length uint8
+	cti    isa.Kind
+	target uint64
+}
+
+// TargetBuffer is a set-associative FTB/BTB with true-LRU replacement.
+type TargetBuffer struct {
+	cfg      Config
+	sets     [][]entry
+	setShift uint
+	clock    uint64
+
+	// Lookups counts raw probes (conventional mode performs several per
+	// predicted block). Hits/Misses count probe outcomes. Inserts counts
+	// new-entry allocations, Updates in-place retrains, Evictions valid
+	// victims replaced.
+	Lookups, Hits, Misses, Inserts, Updates, Evictions uint64
+}
+
+// New creates a target buffer.
+func New(cfg Config) *TargetBuffer {
+	cfg.setDefaults()
+	sets := make([][]entry, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]entry, cfg.Ways)
+	}
+	return &TargetBuffer{cfg: cfg, sets: sets, setShift: uint(bits.TrailingZeros(uint(cfg.Sets)))}
+}
+
+// Config returns the (normalised) configuration.
+func (t *TargetBuffer) Config() Config { return t.cfg }
+
+// Entries returns the total entry capacity.
+func (t *TargetBuffer) Entries() int { return t.cfg.Sets * t.cfg.Ways }
+
+func (t *TargetBuffer) setAndTag(pc uint64) (int, uint64) {
+	word := pc >> 2
+	return int(word & uint64(t.cfg.Sets-1)), word >> t.setShift
+}
+
+// lookup probes one address.
+func (t *TargetBuffer) lookup(pc uint64) (Pred, bool) {
+	t.Lookups++
+	si, tag := t.setAndTag(pc)
+	set := t.sets[si]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.tag == tag {
+			t.Hits++
+			t.clock++
+			e.stamp = t.clock
+			return Pred{NumInstrs: int(e.length), CTI: e.cti, Target: e.target}, true
+		}
+	}
+	t.Misses++
+	return Pred{}, false
+}
+
+// insert allocates or retrains the entry for pc.
+func (t *TargetBuffer) insert(pc uint64, length int, cti isa.Kind, target uint64) {
+	if length < 1 {
+		length = 1
+	}
+	if length > t.cfg.MaxBlockInstrs {
+		length = t.cfg.MaxBlockInstrs
+	}
+	si, tag := t.setAndTag(pc)
+	set := t.sets[si]
+	t.clock++
+	// Retrain an existing entry in place.
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.tag == tag {
+			e.length = uint8(length)
+			e.cti = cti
+			e.target = target
+			e.stamp = t.clock
+			t.Updates++
+			return
+		}
+	}
+	// Allocate: prefer an invalid way, else evict true-LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	t.Evictions++
+fill:
+	set[victim] = entry{valid: true, tag: tag, stamp: t.clock, length: uint8(length), cti: cti, target: target}
+	t.Inserts++
+}
+
+// PredictBlock returns the predicted fetch block starting at pc. In
+// block-oriented mode this is a single probe; in conventional mode the
+// buffer is probed at each sequential instruction address until a branch
+// entry hits or MaxBlockInstrs addresses have been scanned. ok reports
+// whether any prediction was found; on a miss the caller should assume a
+// maximal sequential block.
+func (t *TargetBuffer) PredictBlock(pc uint64) (Pred, bool) {
+	if t.cfg.BlockOriented {
+		p, ok := t.lookup(pc)
+		if ok && p.NumInstrs == 0 {
+			p.NumInstrs = 1
+		}
+		return p, ok
+	}
+	for i := 0; i < t.cfg.MaxBlockInstrs; i++ {
+		if p, ok := t.lookup(pc + uint64(i)*isa.InstrBytes); ok {
+			return Pred{NumInstrs: i + 1, CTI: p.CTI, Target: p.Target}, true
+		}
+	}
+	return Pred{}, false
+}
+
+// TrainBlock records a resolved fetch block: start address, length in
+// instructions (the CTI is the last one), the CTI kind, and its taken
+// target (the fall-through is never stored).
+func (t *TargetBuffer) TrainBlock(start uint64, numInstrs int, cti isa.Kind, target uint64) {
+	if t.cfg.BlockOriented {
+		t.insert(start, numInstrs, cti, target)
+		return
+	}
+	branchPC := start + uint64(numInstrs-1)*isa.InstrBytes
+	t.insert(branchPC, 1, cti, target)
+}
+
+// InvalidateAll clears the buffer (used between experiment phases).
+func (t *TargetBuffer) InvalidateAll() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = entry{}
+		}
+	}
+}
+
+// EntryBits returns the storage cost of one entry following the paper's
+// accounting: a tag of (AddrBits - log2(sets) - 2) bits, a 2-bit type, a
+// 46-bit target, and — in block-oriented mode — a 5-bit block size.
+func (t *TargetBuffer) EntryBits() int {
+	tag := t.cfg.AddrBits - int(t.setShift) - 2
+	if tag < 0 {
+		tag = 0
+	}
+	bits := tag + 2 + 46
+	if t.cfg.BlockOriented {
+		bits += 5
+	}
+	return bits
+}
+
+// StorageBytes returns the total table storage in bytes.
+func (t *TargetBuffer) StorageBytes() int {
+	return t.Entries() * t.EntryBits() / 8
+}
+
+// HitRate returns the fraction of probes that hit.
+func (t *TargetBuffer) HitRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(t.Lookups)
+}
+
+// String summarises the buffer geometry.
+func (t *TargetBuffer) String() string {
+	kind := "BTB"
+	if t.cfg.BlockOriented {
+		kind = "FTB"
+	}
+	return fmt.Sprintf("%s %d sets x %d ways (%d entries, %d bytes)",
+		kind, t.cfg.Sets, t.cfg.Ways, t.Entries(), t.StorageBytes())
+}
+
+func ceilPow2(v int) int {
+	if v < 1 {
+		return 1
+	}
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}

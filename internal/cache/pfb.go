@@ -1,0 +1,112 @@
+package cache
+
+// PrefetchBuffer is the small fully-associative FIFO buffer prefetched lines
+// land in. It is probed in parallel with the L1-I on every fetch; a hit
+// transfers the line into the L1-I (the caller performs the Fill) and frees
+// the buffer slot. Keeping prefetches out of the cache until first use is
+// what protects the L1-I from wrong-path pollution.
+type PrefetchBuffer struct {
+	lineMask uint64
+	entries  []uint64
+	valid    []bool
+	next     int // FIFO allocation cursor
+
+	// Inserts/Hits/Evictions/Replaced count buffer traffic; a Replaced
+	// entry is one evicted before any use (a wasted prefetch).
+	Inserts, Hits, Evictions uint64
+}
+
+// NewPrefetchBuffer creates a buffer with the given number of entries for
+// lineBytes-sized lines. A zero-entry buffer is legal and behaves as "no
+// buffer" (inserts drop, probes miss), which gives experiments a clean way
+// to disable prefetching storage.
+func NewPrefetchBuffer(numEntries, lineBytes int) *PrefetchBuffer {
+	if numEntries < 0 {
+		numEntries = 0
+	}
+	return &PrefetchBuffer{
+		lineMask: ^uint64(lineBytes - 1),
+		entries:  make([]uint64, numEntries),
+		valid:    make([]bool, numEntries),
+	}
+}
+
+// Capacity returns the entry count.
+func (p *PrefetchBuffer) Capacity() int { return len(p.entries) }
+
+// Contains reports whether the line holding addr is buffered, without side
+// effects.
+func (p *PrefetchBuffer) Contains(addr uint64) bool {
+	l := addr & p.lineMask
+	for i, v := range p.valid {
+		if v && p.entries[i] == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Take removes and returns the buffered line on a fetch hit. ok is false on
+// a miss.
+func (p *PrefetchBuffer) Take(addr uint64) bool {
+	l := addr & p.lineMask
+	for i, v := range p.valid {
+		if v && p.entries[i] == l {
+			p.valid[i] = false
+			p.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs a prefetched line, evicting FIFO-oldest when full.
+// Duplicate inserts refresh nothing and are dropped.
+func (p *PrefetchBuffer) Insert(addr uint64) {
+	if len(p.entries) == 0 {
+		return
+	}
+	l := addr & p.lineMask
+	if p.Contains(l) {
+		return
+	}
+	// Prefer a free slot.
+	for i, v := range p.valid {
+		if !v {
+			p.entries[i] = l
+			p.valid[i] = true
+			p.Inserts++
+			return
+		}
+	}
+	// FIFO eviction.
+	p.entries[p.next] = l
+	p.valid[p.next] = true
+	p.next = (p.next + 1) % len(p.entries)
+	p.Inserts++
+	p.Evictions++
+}
+
+// InvalidateAll empties the buffer.
+func (p *PrefetchBuffer) InvalidateAll() {
+	for i := range p.valid {
+		p.valid[i] = false
+	}
+}
+
+// Occupancy returns the number of live entries.
+func (p *PrefetchBuffer) Occupancy() int {
+	n := 0
+	for _, v := range p.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// StorageBits accounts buffer storage: each entry holds a 48-bit line
+// address tag plus the line data itself.
+func (p *PrefetchBuffer) StorageBits(lineBytes int) int {
+	return len(p.entries) * (48 + 8*lineBytes)
+}

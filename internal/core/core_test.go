@@ -1,0 +1,276 @@
+package core
+
+import (
+	"testing"
+
+	"fdip/internal/oracle"
+	"fdip/internal/pipe"
+	"fdip/internal/prefetch"
+	"fdip/internal/program"
+)
+
+// testImage builds a moderate program for end-to-end runs.
+func testImage(tb testing.TB, seed int64, funcs int) *program.Image {
+	tb.Helper()
+	p := program.DefaultParams()
+	p.Seed = seed
+	p.NumFuncs = funcs
+	im, err := program.Generate(p)
+	if err != nil {
+		tb.Fatalf("Generate: %v", err)
+	}
+	return im
+}
+
+func runWith(tb testing.TB, cfg Config, seed int64, funcs int) Result {
+	tb.Helper()
+	im := testImage(tb, seed, funcs)
+	pr, err := New(cfg, im, oracle.NewWalker(im, seed+100))
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	return pr.Run()
+}
+
+func TestRunCompletesAndCommits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 200_000
+	r := runWith(t, cfg, 1, 100)
+	if r.Committed < cfg.MaxInstrs {
+		t.Fatalf("committed %d < %d (cycles %d)", r.Committed, cfg.MaxInstrs, r.Cycles)
+	}
+	if r.IPC <= 0.1 || r.IPC > float64(cfg.FetchWidth) {
+		t.Errorf("implausible IPC %.3f", r.IPC)
+	}
+	if r.CondBranches == 0 || r.CTIs == 0 {
+		t.Error("no branches committed")
+	}
+	if r.CondAccuracyPct < 55 {
+		t.Errorf("conditional accuracy %.1f%% too low — predictor not learning", r.CondAccuracyPct)
+	}
+	if r.FTBHitRatePct < 30 {
+		t.Errorf("FTB hit rate %.1f%% too low — FTB not learning", r.FTBHitRatePct)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 100_000
+	a := runWith(t, cfg, 3, 80)
+	b := runWith(t, cfg, 3, 80)
+	if a != b {
+		t.Fatalf("same config+seed diverged:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestFDPBeatsNoPrefetchOnBigFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end performance comparison")
+	}
+	// Server-style program: large footprint, flat profile, wide dispatch.
+	p := program.DefaultParams()
+	p.Seed = 5
+	p.NumFuncs = 600
+	p.MaxLoopsPerFunc = 1
+	p.MeanLoopTrip = 4
+	p.DispatchTargets = 32
+	p.DispatchZipf = 0.2
+	im, err := program.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg Config) Result {
+		pr, err := New(cfg, im, oracle.NewWalker(im, 55))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr.Run()
+	}
+
+	base := DefaultConfig()
+	base.MaxInstrs = 400_000
+	fdp := base
+	fdp.Prefetch.Kind = PrefetchFDP
+
+	rBase := run(base)
+	rFDP := run(fdp)
+
+	if rBase.MissPKI < 5 {
+		t.Fatalf("baseline MissPKI %.2f too low — workload not I-bound", rBase.MissPKI)
+	}
+	gain := rFDP.SpeedupPctOver(rBase)
+	if gain < 3 {
+		t.Errorf("FDP gain %.2f%% over baseline; want noticeably positive (base IPC %.3f, fdp IPC %.3f, coverage %.1f%%)",
+			gain, rBase.IPC, rFDP.IPC, rFDP.CoveragePct)
+	}
+	if rFDP.CoveragePct < 15 {
+		t.Errorf("FDP coverage %.1f%% too low", rFDP.CoveragePct)
+	}
+}
+
+func TestPrefetchersRunAndStaySane(t *testing.T) {
+	for _, kind := range []PrefetcherKind{PrefetchNone, PrefetchNextLine, PrefetchStream, PrefetchFDP} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MaxInstrs = 100_000
+			cfg.Prefetch.Kind = kind
+			r := runWith(t, cfg, 7, 200)
+			if r.Committed < cfg.MaxInstrs {
+				t.Fatalf("committed %d", r.Committed)
+			}
+			if kind == PrefetchNone && r.PrefetchIssued != 0 {
+				t.Errorf("none issued %d prefetches", r.PrefetchIssued)
+			}
+			if kind != PrefetchNone && r.PrefetchIssued == 0 {
+				t.Errorf("%s issued no prefetches", kind)
+			}
+			if r.BusUtilPct < 0 || r.BusUtilPct > 100 {
+				t.Errorf("bus utilisation %.1f%%", r.BusUtilPct)
+			}
+		})
+	}
+}
+
+func TestPerfectCacheUpperBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long end-to-end run")
+	}
+	// A huge L1-I behaves as a perfect cache once compulsory misses
+	// amortise: run long enough that capacity misses dominate the 16KB
+	// machine, then check the 16MB machine loses most of them and is at
+	// least as fast. The workload must have a flat (capacity-thrashing)
+	// profile, hence the server-style parameters.
+	p := program.DefaultParams()
+	p.Seed = 9
+	p.NumFuncs = 500
+	p.MaxLoopsPerFunc = 1
+	p.MeanLoopTrip = 4
+	p.DispatchTargets = 32
+	p.DispatchZipf = 0.2
+	im, err := program.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(cfg Config) Result {
+		pr, err := New(cfg, im, oracle.NewWalker(im, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr.Run()
+	}
+	small := DefaultConfig()
+	small.MaxInstrs = 2_000_000
+	big := small
+	big.L1ISizeBytes = 1 << 24 // 16MB
+
+	rs := run(small)
+	rb := run(big)
+	if rb.MissPKI > rs.MissPKI/2.5 {
+		t.Errorf("16MB cache MissPKI %.2f not ≪ 16KB MissPKI %.2f", rb.MissPKI, rs.MissPKI)
+	}
+	if rb.IPC < rs.IPC {
+		t.Errorf("bigger cache slower: %.3f < %.3f", rb.IPC, rs.IPC)
+	}
+}
+
+func TestCommittedMatchesOracleStream(t *testing.T) {
+	// The committed instruction stream must be exactly the oracle stream:
+	// run two walkers in lockstep, one through the machine, one raw.
+	im := testImage(t, 11, 60)
+	const n = 50_000
+	raw := oracle.NewWalker(im, 42)
+	var want []uint64
+	for i := 0; i < n; i++ {
+		rec, _ := raw.Next()
+		want = append(want, rec.PC)
+	}
+
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = n
+	pr := MustNew(cfg, im, oracle.NewWalker(im, 42))
+	var got []uint64
+	inner := pr.be.OnCommit
+	pr.be.OnCommit = func(u *pipe.Uop) {
+		if len(got) < n {
+			got = append(got, u.PC)
+		}
+		inner(u)
+	}
+	pr.Run()
+	if len(got) < n {
+		t.Fatalf("committed only %d of %d", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("commit %d: pc %#x, oracle %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestZeroPrefetchBufferDisablesCoverage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 100_000
+	cfg.Prefetch.Kind = PrefetchFDP
+	cfg.PrefetchBufferEntries = 0
+	r := runWith(t, cfg, 13, 200)
+	if r.PFBHits != 0 {
+		t.Errorf("PFB hits %d with zero-entry buffer", r.PFBHits)
+	}
+	if r.Committed < cfg.MaxInstrs {
+		t.Errorf("run did not complete: %d", r.Committed)
+	}
+}
+
+func TestFTQSizeOneStillWorks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 80_000
+	cfg.FTQEntries = 1
+	cfg.Prefetch.Kind = PrefetchFDP
+	r := runWith(t, cfg, 15, 150)
+	if r.Committed < cfg.MaxInstrs {
+		t.Fatalf("committed %d", r.Committed)
+	}
+	// With a single-entry FTQ there are no non-head entries to prefetch.
+	if r.PrefetchIssued != 0 {
+		t.Errorf("FTQ=1 issued %d prefetches", r.PrefetchIssued)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Prefetch.Kind = "warlock"
+	im := testImage(t, 1, 20)
+	if _, err := New(cfg, im, oracle.NewWalker(im, 1)); err == nil {
+		t.Error("unknown prefetcher accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.LineBytes = 48
+	if _, err := New(cfg, im, oracle.NewWalker(im, 1)); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	cfg = Config{}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	if cfg.MaxCycles == 0 || cfg.Prefetch.Kind != PrefetchNone {
+		t.Error("defaults not filled")
+	}
+}
+
+func TestResultStringAndSpeedup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 30_000
+	r := runWith(t, cfg, 17, 60)
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+	if got := r.SpeedupPctOver(r); got != 0 {
+		t.Errorf("self speedup = %v", got)
+	}
+	if got := r.SpeedupPctOver(Result{}); got != 0 {
+		t.Errorf("speedup over zero base = %v", got)
+	}
+	_ = prefetch.PortStats{}
+}

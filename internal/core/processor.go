@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"fdip/internal/backend"
+	"fdip/internal/bpred"
+	"fdip/internal/btb"
+	"fdip/internal/cache"
+	"fdip/internal/frontend"
+	"fdip/internal/ftq"
+	"fdip/internal/isa"
+	"fdip/internal/memsys"
+	"fdip/internal/oracle"
+	"fdip/internal/pipe"
+	"fdip/internal/prefetch"
+	"fdip/internal/program"
+	"fdip/internal/stats"
+)
+
+// Processor is the assembled machine.
+type Processor struct {
+	cfg Config
+	im  *program.Image
+
+	l1i  *cache.Cache
+	pfb  *cache.PrefetchBuffer
+	hier *memsys.Hierarchy
+	ftb  *btb.TargetBuffer
+	dir  bpred.Predictor
+	ras  *bpred.RAS
+	q    *ftq.Queue
+	bpu  *frontend.BPU
+	fe   *frontend.FetchEngine
+	be   *backend.Backend
+	pf   prefetch.Prefetcher
+
+	now int64
+
+	ftqOcc *stats.Histogram
+	robOcc *stats.Histogram
+
+	// commit-side counters gathered via the backend's OnCommit hook
+	condBranches, ctisCommitted uint64
+	committedByKind             [isa.NumKinds]uint64
+
+	lastProgressCycle int64
+	lastProgressCount uint64
+}
+
+// New assembles a processor over the program image and oracle stream.
+func New(cfg Config, im *program.Image, stream oracle.Stream) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dir, err := bpred.New(cfg.PredictorName, cfg.PredictorSize, cfg.PredictorHistBits)
+	if err != nil {
+		return nil, err
+	}
+	p := &Processor{cfg: cfg, im: im, dir: dir}
+	p.l1i = cache.New(cache.Config{
+		SizeBytes: cfg.L1ISizeBytes,
+		Ways:      cfg.L1IWays,
+		LineBytes: cfg.LineBytes,
+		Repl:      cache.LRU,
+		TagPorts:  cfg.L1ITagPorts,
+	})
+	p.pfb = cache.NewPrefetchBuffer(cfg.PrefetchBufferEntries, cfg.LineBytes)
+	p.hier = memsys.New(cfg.Mem)
+	p.ftb = btb.New(cfg.FTB)
+	p.ras = bpred.NewRAS(cfg.RASEntries)
+	p.q = ftq.New(cfg.FTQEntries, cfg.LineBytes)
+	p.bpu = frontend.NewBPU(p.ftb, p.dir, p.ras, p.q, im.Entry, p.ftb.Config().MaxBlockInstrs)
+	p.be = backend.New(cfg.Backend)
+	p.be.OnCommit = p.onCommit
+
+	env := prefetch.Env{L1I: p.l1i, PFB: p.pfb, Hier: p.hier, FTQ: p.q, LineBytes: cfg.LineBytes}
+	switch cfg.Prefetch.Kind {
+	case PrefetchNone:
+		p.pf = prefetch.NewNone()
+	case PrefetchNextLine:
+		p.pf = prefetch.NewNextLine(env, cfg.Prefetch.NextLinePending)
+	case PrefetchStream:
+		p.pf = prefetch.NewStreamBuffers(env, cfg.Prefetch.Streams, cfg.Prefetch.StreamDepth)
+	case PrefetchFDP:
+		p.pf = prefetch.NewFDP(env, cfg.Prefetch.FDP)
+	}
+
+	if cfg.PerfectL1I {
+		p.fe = frontend.NewPerfectFetchEngine(im, stream, p.q, p.l1i, p.pfb, p.hier,
+			cfg.FetchWidth, p.pf.OnDemandAccess)
+	} else {
+		p.fe = frontend.NewFetchEngine(im, stream, p.q, p.l1i, p.pfb, p.hier,
+			cfg.FetchWidth, p.pf.OnDemandAccess)
+	}
+
+	p.ftqOcc = stats.NewHistogram(cfg.FTQEntries+1, 1)
+	p.robOcc = stats.NewHistogram(cfg.Backend.ROBSize+1, 1)
+	return p, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config, im *program.Image, stream oracle.Stream) *Processor {
+	p, err := New(cfg, im, stream)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the validated configuration.
+func (p *Processor) Config() Config { return p.cfg }
+
+// Now returns the current cycle.
+func (p *Processor) Now() int64 { return p.now }
+
+// Committed returns retired instruction count.
+func (p *Processor) Committed() uint64 { return p.be.Committed }
+
+// onCommit trains predictor and FTB with architecturally retired CTIs.
+func (p *Processor) onCommit(u *pipe.Uop) {
+	p.committedByKind[u.Instr.Kind]++
+	if !u.Instr.IsCTI() {
+		return
+	}
+	p.ctisCommitted++
+	if u.Instr.Kind == isa.CondBranch {
+		p.condBranches++
+		p.dir.Commit(u.PC, u.HistCP, u.ActualTaken)
+	}
+	p.ftb.TrainBlock(u.BlockStart, u.BlockLen, u.Instr.Kind, p.trainTarget(u))
+}
+
+// trainTarget picks the taken-target stored in the FTB for a resolved CTI.
+func (p *Processor) trainTarget(u *pipe.Uop) uint64 {
+	if u.Instr.Kind.IsIndirect() {
+		return u.ActualNextPC // last observed dynamic target
+	}
+	return u.Instr.Target
+}
+
+// Step advances the machine one cycle.
+func (p *Processor) Step() {
+	now := p.now
+
+	// 1. Memory completions: demand fills go to the L1-I, pure prefetches
+	// to the prefetch buffer.
+	for _, tr := range p.hier.CompletedBy(now) {
+		if tr.Prefetch && !tr.DemandMerged {
+			p.pfb.Insert(tr.Line)
+		} else {
+			p.l1i.Fill(tr.Line, tr.Prefetch)
+		}
+	}
+
+	// 2. Backend: execute, resolve, commit.
+	if u, redirect := p.be.Tick(now); redirect {
+		p.q.Squash()
+		p.pf.OnSquash()
+		p.bpu.RepairAfterMispredict(u.Instr.Kind, u.HistCP, u.RASCP, u.PC, u.ActualTaken)
+		// Resolve-time training closes the FTB learning loop quickly
+		// (commit training alone would lag by the ROB depth).
+		if u.Instr.IsCTI() {
+			p.ftb.TrainBlock(u.BlockStart, u.BlockLen, u.Instr.Kind, p.trainTarget(&u))
+		}
+		p.bpu.Redirect(u.ActualNextPC, now+int64(p.cfg.RedirectLatency))
+		p.fe.Redirect()
+	}
+
+	// 3. Fetch: demand access + uop delivery.
+	if uops := p.fe.Tick(now, p.be.Accept()); len(uops) > 0 {
+		p.be.Deliver(uops, now)
+	}
+
+	// 4. BPU: one fetch-block prediction.
+	p.bpu.Tick(now)
+
+	// 5. Prefetch engine.
+	p.pf.Tick(now)
+
+	p.ftqOcc.Add(p.q.Len())
+	if now&63 == 0 {
+		p.robOcc.Add(p.be.ROBOccupancy())
+	}
+	p.now++
+}
+
+// Run executes until MaxInstrs commit, MaxCycles elapse, or a trace stream
+// drains. It returns the final measurements.
+func (p *Processor) Run() Result {
+	for p.be.Committed < p.cfg.MaxInstrs && p.now < p.cfg.MaxCycles {
+		if p.fe.Exhausted() && p.be.Drained() {
+			break
+		}
+		p.Step()
+		p.checkProgress()
+	}
+	return p.Finalize()
+}
+
+// checkProgress panics if the machine stops committing — a simulator
+// deadlock must fail loudly, not burn the cycle budget.
+func (p *Processor) checkProgress() {
+	const window = 2_000_000
+	if p.now-p.lastProgressCycle < window {
+		return
+	}
+	if p.be.Committed == p.lastProgressCount {
+		panic(fmt.Sprintf("core: no commit progress between cycles %d and %d (committed=%d, ftq=%d, rob=%d)",
+			p.lastProgressCycle, p.now, p.be.Committed, p.q.Len(), p.be.ROBOccupancy()))
+	}
+	p.lastProgressCycle = p.now
+	p.lastProgressCount = p.be.Committed
+}

@@ -1,0 +1,405 @@
+// Package experiments implements the paper's evaluation: one entry point per
+// reconstructed table/figure (E1..E11 in DESIGN.md) plus the extension
+// ablations (E12..E16), each returning a text table with the same
+// rows/series the paper reports.
+//
+// A memoising Runner backs all experiments so that configurations shared
+// between experiments (e.g. the no-prefetch baseline) simulate once.
+package experiments
+
+import (
+	"fmt"
+
+	"fdip/internal/core"
+	"fdip/internal/oracle"
+	"fdip/internal/prefetch"
+	"fdip/internal/program"
+	"fdip/internal/stats"
+	"fdip/internal/workloads"
+)
+
+// Options scales the experiment suite.
+type Options struct {
+	// Instrs is the committed-instruction budget per simulation.
+	Instrs uint64
+	// Workloads restricts the suite (nil = all eight benchmarks).
+	Workloads []workloads.Workload
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress func(line string)
+}
+
+// DefaultOptions runs the full suite at 1M instructions per point.
+func DefaultOptions() Options {
+	return Options{Instrs: 1_000_000}
+}
+
+func (o *Options) setDefaults() {
+	if o.Instrs == 0 {
+		o.Instrs = 1_000_000
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = workloads.All()
+	}
+}
+
+type runKey struct {
+	workload string
+	cfg      core.Config
+}
+
+// Runner executes simulations with memoisation.
+type Runner struct {
+	opts   Options
+	images map[string]*program.Image
+	cache  map[runKey]core.Result
+
+	// Simulations counts actual (non-memoised) runs.
+	Simulations int
+}
+
+// NewRunner builds a runner for the given options.
+func NewRunner(opts Options) *Runner {
+	opts.setDefaults()
+	return &Runner{
+		opts:   opts,
+		images: make(map[string]*program.Image),
+		cache:  make(map[runKey]core.Result),
+	}
+}
+
+// Options returns the normalised options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Image returns (generating once) the program image for a workload.
+func (r *Runner) Image(w workloads.Workload) *program.Image {
+	if im, ok := r.images[w.Name]; ok {
+		return im
+	}
+	im, err := program.Generate(w.Params)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: workload %s: %v", w.Name, err))
+	}
+	r.images[w.Name] = im
+	return im
+}
+
+// Run simulates workload w under cfg (with the runner's instruction budget),
+// memoised on (workload, config).
+func (r *Runner) Run(w workloads.Workload, cfg core.Config) core.Result {
+	cfg.MaxInstrs = r.opts.Instrs
+	cfg.MaxCycles = 0 // re-derive from MaxInstrs
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	key := runKey{workload: w.Name, cfg: cfg}
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	im := r.Image(w)
+	p, err := core.New(cfg, im, oracle.NewWalker(im, w.Seed))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	res := p.Run()
+	r.cache[key] = res
+	r.Simulations++
+	if r.opts.Progress != nil {
+		r.opts.Progress(fmt.Sprintf("%-10s %-28s IPC %.3f", w.Name, res.Prefetcher, res.IPC))
+	}
+	return res
+}
+
+// Baseline runs the no-prefetch machine for w at the given L1-I size.
+func (r *Runner) Baseline(w workloads.Workload, l1iBytes int) core.Result {
+	cfg := core.DefaultConfig()
+	cfg.L1ISizeBytes = l1iBytes
+	cfg.Prefetch.Kind = core.PrefetchNone
+	return r.Run(w, cfg)
+}
+
+// schemeConfigs returns the four schemes the headline comparison runs.
+func schemeConfigs(l1iBytes int) []core.Config {
+	mk := func(kind core.PrefetcherKind, cpf prefetch.CPFMode) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.L1ISizeBytes = l1iBytes
+		cfg.Prefetch.Kind = kind
+		cfg.Prefetch.FDP.CPF = cpf
+		return cfg
+	}
+	return []core.Config{
+		mk(core.PrefetchNextLine, prefetch.CPFOff),
+		mk(core.PrefetchStream, prefetch.CPFOff),
+		mk(core.PrefetchFDP, prefetch.CPFOff),
+		mk(core.PrefetchFDP, prefetch.CPFConservative),
+	}
+}
+
+var schemeNames = []string{"nextline", "streambuf", "fdp", "fdp+cpf"}
+
+// E1Characterization reproduces the benchmark characterisation table:
+// footprint, baseline performance, and branch behaviour per workload.
+func E1Characterization(r *Runner) *stats.Table {
+	t := stats.NewTable("E1: workload characterisation (no-prefetch baseline, 16KB L1-I)",
+		"bench", "class", "code KB", "static br", "IPC", "miss/KI", "brMPKI", "cond acc%", "FTB hit%")
+	for _, w := range r.opts.Workloads {
+		im := r.Image(w)
+		res := r.Baseline(w, 16*1024)
+		class := "client"
+		if w.LargeFootprint {
+			class = "server"
+		}
+		t.AddRow(w.Name, class, im.Size()/1024, im.StaticBranchCount(),
+			res.IPC, res.MissPKI, res.MispredictPKI, res.CondAccuracyPct, res.FTBHitRatePct)
+	}
+	return t
+}
+
+// speedupTable builds the per-benchmark % speedup comparison at one cache
+// size — the paper's headline figure shape.
+func speedupTable(r *Runner, title string, l1iBytes int) *stats.Table {
+	t := stats.NewTable(title, append([]string{"bench"}, schemeNames...)...)
+	gains := make([][]float64, len(schemeNames))
+	for _, w := range r.opts.Workloads {
+		base := r.Baseline(w, l1iBytes)
+		row := []interface{}{w.Name}
+		for i, cfg := range schemeConfigs(l1iBytes) {
+			g := r.Run(w, cfg).SpeedupPctOver(base)
+			gains[i] = append(gains[i], g)
+			row = append(row, fmt.Sprintf("%+.1f%%", g))
+		}
+		t.AddRow(row...)
+	}
+	grow := []interface{}{"gmean"}
+	for i := range schemeNames {
+		grow = append(grow, fmt.Sprintf("%+.1f%%", stats.GmeanSpeedupPct(gains[i])))
+	}
+	t.AddRow(grow...)
+	return t
+}
+
+// E2SpeedupSmallCache is the headline comparison at a 16KB L1-I.
+func E2SpeedupSmallCache(r *Runner) *stats.Table {
+	return speedupTable(r, "E2: % speedup over no-prefetch, 16KB L1-I", 16*1024)
+}
+
+// E3SpeedupLargeCache repeats E2 at 32KB, where gains shrink.
+func E3SpeedupLargeCache(r *Runner) *stats.Table {
+	return speedupTable(r, "E3: % speedup over no-prefetch, 32KB L1-I", 32*1024)
+}
+
+// E4BusUtilization compares bandwidth cost per scheme.
+func E4BusUtilization(r *Runner) *stats.Table {
+	t := stats.NewTable("E4: L1↔L2 bus utilisation (%), 16KB L1-I",
+		append([]string{"bench", "none"}, schemeNames...)...)
+	for _, w := range r.opts.Workloads {
+		base := r.Baseline(w, 16*1024)
+		row := []interface{}{w.Name, base.BusUtilPct}
+		for _, cfg := range schemeConfigs(16 * 1024) {
+			row = append(row, r.Run(w, cfg).BusUtilPct)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// filterVariants are the cache-probe-filtering configurations of E5.
+func filterVariants() (names []string, cfgs []core.Config) {
+	mk := func(cpf prefetch.CPFMode, remove bool) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Prefetch.Kind = core.PrefetchFDP
+		cfg.Prefetch.FDP.CPF = cpf
+		cfg.Prefetch.FDP.RemoveCPF = remove
+		return cfg
+	}
+	names = []string{"none", "enq-cons", "enq-opt", "remove", "cons+rem", "opt+rem"}
+	cfgs = []core.Config{
+		mk(prefetch.CPFOff, false),
+		mk(prefetch.CPFConservative, false),
+		mk(prefetch.CPFOptimistic, false),
+		mk(prefetch.CPFOff, true),
+		mk(prefetch.CPFConservative, true),
+		mk(prefetch.CPFOptimistic, true),
+	}
+	return names, cfgs
+}
+
+// E5CacheProbeFiltering evaluates the paper's filtering mechanisms: speedup
+// retained vs bus traffic removed.
+func E5CacheProbeFiltering(r *Runner) *stats.Table {
+	t := stats.NewTable("E5: FDP cache-probe filtering (large-footprint workloads, 16KB L1-I)",
+		"bench", "filter", "speedup", "bus%", "useful%", "issued/KI")
+	names, cfgs := filterVariants()
+	for _, w := range r.suiteLarge() {
+		base := r.Baseline(w, 16*1024)
+		for i, cfg := range cfgs {
+			res := r.Run(w, cfg)
+			t.AddRow(w.Name, names[i],
+				fmt.Sprintf("%+.1f%%", res.SpeedupPctOver(base)),
+				res.BusUtilPct, res.UsefulPct,
+				stats.PerKilo(res.PrefetchIssued, res.Committed))
+		}
+	}
+	return t
+}
+
+func (r *Runner) suiteLarge() []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range r.opts.Workloads {
+		if w.LargeFootprint {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		out = r.opts.Workloads
+	}
+	return out
+}
+
+// E6FTQSweep shows speedup vs FTQ depth: decoupling depth is what creates
+// prefetch opportunity; depth 1 degenerates to a coupled front end.
+func E6FTQSweep(r *Runner) *stats.Table {
+	sizes := []int{1, 2, 4, 8, 16, 32, 64}
+	t := stats.NewTable("E6: FDP+CPF speedup vs FTQ depth (entries), 16KB L1-I",
+		append([]string{"bench"}, intHeaders(sizes)...)...)
+	for _, w := range r.suiteLarge() {
+		base := r.Baseline(w, 16*1024)
+		row := []interface{}{w.Name}
+		for _, n := range sizes {
+			cfg := core.DefaultConfig()
+			cfg.Prefetch.Kind = core.PrefetchFDP
+			cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+			cfg.FTQEntries = n
+			row = append(row, fmt.Sprintf("%+.1f%%", r.Run(w, cfg).SpeedupPctOver(base)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// E7PrefetchBufferSweep sizes the prefetch buffer.
+func E7PrefetchBufferSweep(r *Runner) *stats.Table {
+	sizes := []int{8, 16, 32, 64, 128}
+	t := stats.NewTable("E7: FDP+CPF speedup vs prefetch buffer entries, 16KB L1-I",
+		append([]string{"bench"}, intHeaders(sizes)...)...)
+	for _, w := range r.suiteLarge() {
+		base := r.Baseline(w, 16*1024)
+		row := []interface{}{w.Name}
+		for _, n := range sizes {
+			cfg := core.DefaultConfig()
+			cfg.Prefetch.Kind = core.PrefetchFDP
+			cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+			cfg.PrefetchBufferEntries = n
+			row = append(row, fmt.Sprintf("%+.1f%%", r.Run(w, cfg).SpeedupPctOver(base)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// E8LatencySensitivity grows the memory latency; prefetching hides more of a
+// longer latency, so FDP's advantage must grow.
+func E8LatencySensitivity(r *Runner) *stats.Table {
+	lats := []int{30, 70, 140, 280}
+	t := stats.NewTable("E8: FDP+CPF speedup vs memory latency (cycles), 16KB L1-I",
+		append([]string{"bench"}, intHeaders(lats)...)...)
+	for _, w := range r.suiteLarge() {
+		row := []interface{}{w.Name}
+		for _, lat := range lats {
+			base := core.DefaultConfig()
+			base.Mem.MemLatency = lat
+			fdp := base
+			fdp.Prefetch.Kind = core.PrefetchFDP
+			fdp.Prefetch.FDP.CPF = prefetch.CPFConservative
+			g := r.Run(w, fdp).SpeedupPctOver(r.Run(w, base))
+			row = append(row, fmt.Sprintf("%+.1f%%", g))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// E9CoverageAccuracy tabulates prefetch quality per scheme.
+func E9CoverageAccuracy(r *Runner) *stats.Table {
+	t := stats.NewTable("E9: prefetch coverage and accuracy, 16KB L1-I",
+		"bench", "scheme", "coverage%", "cov+partial%", "useful%", "issued/KI")
+	for _, w := range r.opts.Workloads {
+		for i, cfg := range schemeConfigs(16 * 1024) {
+			res := r.Run(w, cfg)
+			t.AddRow(w.Name, schemeNames[i], res.CoveragePct, res.PartialPct,
+				res.UsefulPct, stats.PerKilo(res.PrefetchIssued, res.Committed))
+		}
+	}
+	return t
+}
+
+// E10FTBSweep is the BTB-reach ablation: FDP effectiveness tracks how much
+// of the branch working set the FTB holds.
+func E10FTBSweep(r *Runner) *stats.Table {
+	sets := []int{64, 128, 256, 512, 1024, 2048}
+	t := stats.NewTable("E10: FDP+CPF speedup and FTB hit rate vs FTB sets (4-way), 16KB L1-I",
+		append([]string{"bench"}, intHeaders(sets)...)...)
+	for _, w := range r.suiteLarge() {
+		base := r.Baseline(w, 16*1024)
+		row := []interface{}{w.Name}
+		for _, n := range sets {
+			cfg := core.DefaultConfig()
+			cfg.Prefetch.Kind = core.PrefetchFDP
+			cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+			cfg.FTB.Sets = n
+			res := r.Run(w, cfg)
+			row = append(row, fmt.Sprintf("%+.1f%%/%.0f%%", res.SpeedupPctOver(base), res.FTBHitRatePct))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// E11Ablation checks robustness: direction predictor quality and
+// block-oriented vs conventional BTB organisation.
+func E11Ablation(r *Runner) *stats.Table {
+	t := stats.NewTable("E11: ablations (FDP+CPF, 16KB L1-I): IPC by predictor and BTB organisation",
+		"bench", "hybrid", "gshare", "local", "bimodal", "conventional-BTB")
+	for _, w := range r.suiteLarge() {
+		mk := func(pred string, blockOriented bool) core.Result {
+			cfg := core.DefaultConfig()
+			cfg.Prefetch.Kind = core.PrefetchFDP
+			cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+			cfg.PredictorName = pred
+			cfg.FTB.BlockOriented = blockOriented
+			return r.Run(w, cfg)
+		}
+		t.AddRow(w.Name,
+			mk("hybrid", true).IPC,
+			mk("gshare", true).IPC,
+			mk("local", true).IPC,
+			mk("bimodal", true).IPC,
+			mk("hybrid", false).IPC,
+		)
+	}
+	return t
+}
+
+// All runs every experiment in order.
+func All(r *Runner) []*stats.Table {
+	return []*stats.Table{
+		E1Characterization(r),
+		E2SpeedupSmallCache(r),
+		E3SpeedupLargeCache(r),
+		E4BusUtilization(r),
+		E5CacheProbeFiltering(r),
+		E6FTQSweep(r),
+		E7PrefetchBufferSweep(r),
+		E8LatencySensitivity(r),
+		E9CoverageAccuracy(r),
+		E10FTBSweep(r),
+		E11Ablation(r),
+	}
+}
+
+func intHeaders(vals []int) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprint(v)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fdip/internal/core"
+	"fdip/internal/stats"
+	"fdip/internal/workloads"
+)
+
+// quickOpts keeps experiment tests fast: two workloads, short runs.
+func quickOpts() Options {
+	gcc, _ := workloads.ByName("gcc")
+	db, _ := workloads.ByName("deltablue")
+	return Options{Instrs: 40_000, Workloads: []workloads.Workload{gcc, db}}
+}
+
+func TestRunnerMemoises(t *testing.T) {
+	r := NewRunner(quickOpts())
+	w := r.Options().Workloads[0]
+	cfg := core.DefaultConfig()
+	a := r.Run(w, cfg)
+	n := r.Simulations
+	b := r.Run(w, cfg)
+	if r.Simulations != n {
+		t.Error("identical run re-simulated")
+	}
+	if a != b {
+		t.Error("memoised result differs")
+	}
+	// A different config is a different run.
+	cfg2 := cfg
+	cfg2.FTQEntries = 8
+	r.Run(w, cfg2)
+	if r.Simulations != n+1 {
+		t.Error("distinct config not simulated")
+	}
+}
+
+func TestRunnerImageCached(t *testing.T) {
+	r := NewRunner(quickOpts())
+	w := r.Options().Workloads[0]
+	if r.Image(w) != r.Image(w) {
+		t.Error("image regenerated per call")
+	}
+}
+
+func TestE1HasOneRowPerWorkload(t *testing.T) {
+	r := NewRunner(quickOpts())
+	tab := E1Characterization(r)
+	if tab.NumRows() != 2 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestE2IncludesGmeanRow(t *testing.T) {
+	r := NewRunner(quickOpts())
+	tab := E2SpeedupSmallCache(r)
+	out := tab.String()
+	if !strings.Contains(out, "gmean") {
+		t.Errorf("no gmean row:\n%s", out)
+	}
+	if tab.NumRows() != 3 { // 2 workloads + gmean
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestSweepsRespectLargeOnly(t *testing.T) {
+	r := NewRunner(quickOpts()) // gcc is large, deltablue is not
+	tab := E6FTQSweep(r)
+	out := tab.String()
+	if !strings.Contains(out, "gcc") {
+		t.Error("large workload missing from sweep")
+	}
+	if strings.Contains(out, "deltablue") {
+		t.Error("client workload leaked into a large-only sweep")
+	}
+}
+
+func TestFilterVariantsCoverPolicies(t *testing.T) {
+	names, cfgs := filterVariants()
+	if len(names) != len(cfgs) || len(names) != 6 {
+		t.Fatalf("variants = %d/%d", len(names), len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{"none", "enq-cons", "enq-opt", "remove", "cons+rem", "opt+rem"} {
+		if !seen[want] {
+			t.Errorf("missing variant %q", want)
+		}
+	}
+}
+
+func TestAllProducesElevenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole suite")
+	}
+	opts := quickOpts()
+	opts.Instrs = 20_000
+	var progress int
+	opts.Progress = func(string) { progress++ }
+	r := NewRunner(opts)
+	tables := All(r)
+	if len(tables) != 11 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for i, tab := range tables {
+		if tab.NumRows() == 0 {
+			t.Errorf("table %d (%s) empty", i, tab.Title)
+		}
+	}
+	if progress != r.Simulations {
+		t.Errorf("progress lines %d != simulations %d", progress, r.Simulations)
+	}
+	if r.Simulations == 0 {
+		t.Error("no simulations ran")
+	}
+}
+
+func TestSpeedupTableOrderingHolds(t *testing.T) {
+	// On an instruction-bound workload FDP must beat next-line even at
+	// modest budgets — the headline ordering the harness exists to show.
+	gcc, _ := workloads.ByName("gcc")
+	r := NewRunner(Options{Instrs: 150_000, Workloads: []workloads.Workload{gcc}})
+	base := r.Baseline(gcc, 16*1024)
+	cfgs := schemeConfigs(16 * 1024)
+	nlp := r.Run(gcc, cfgs[0]).SpeedupPctOver(base)
+	fdp := r.Run(gcc, cfgs[2]).SpeedupPctOver(base)
+	if fdp <= nlp {
+		t.Errorf("FDP %.1f%% <= next-line %.1f%%", fdp, nlp)
+	}
+	_ = stats.Pct // keep import if assertions change
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fdip/internal/core"
+	"fdip/internal/prefetch"
+	"fdip/internal/stats"
+)
+
+// This file holds the extension experiments (E12..E16): ablations beyond the
+// reconstructed 1999 evaluation that probe the design decisions DESIGN.md
+// calls out. They reuse the same Runner/memoisation machinery.
+
+// fdpCPF returns the standard FDP+conservative-CPF machine at 16KB.
+func fdpCPF() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Prefetch.Kind = core.PrefetchFDP
+	cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+	return cfg
+}
+
+// E12WrongPathPIQ ablates the redirect policy: discard queued prefetch
+// candidates on a squash (the paper's policy) vs keep them in flight.
+func E12WrongPathPIQ(r *Runner) *stats.Table {
+	t := stats.NewTable("E12 (ext): PIQ policy on redirect — discard vs keep wrong-path candidates",
+		"bench", "policy", "speedup", "bus%", "useful%")
+	for _, w := range r.suiteLarge() {
+		base := r.Baseline(w, 16*1024)
+		for _, keep := range []bool{false, true} {
+			cfg := fdpCPF()
+			cfg.Prefetch.FDP.KeepPIQOnSquash = keep
+			res := r.Run(w, cfg)
+			policy := "discard"
+			if keep {
+				policy = "keep"
+			}
+			t.AddRow(w.Name, policy,
+				fmt.Sprintf("%+.1f%%", res.SpeedupPctOver(base)),
+				res.BusUtilPct, res.UsefulPct)
+		}
+	}
+	return t
+}
+
+// E13TagPortSweep varies the L1-I tag ports that cache-probe filtering
+// steals idle cycles from. With one port the demand stream starves the
+// filter; extra ports buy verification bandwidth.
+func E13TagPortSweep(r *Runner) *stats.Table {
+	ports := []int{1, 2, 3, 4}
+	t := stats.NewTable("E13 (ext): FDP+CPF(conservative) vs L1-I tag ports, 16KB L1-I",
+		append([]string{"bench"}, intHeaders(ports)...)...)
+	for _, w := range r.suiteLarge() {
+		base := r.Baseline(w, 16*1024)
+		row := []interface{}{w.Name}
+		for _, p := range ports {
+			cfg := fdpCPF()
+			cfg.L1ITagPorts = p
+			res := r.Run(w, cfg)
+			row = append(row, fmt.Sprintf("%+.1f%%/%.0f%%", res.SpeedupPctOver(base), res.BusUtilPct))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// E14FetchWidthSweep varies the fetch width: wider fetch raises the demand
+// rate the prefetcher must stay ahead of.
+func E14FetchWidthSweep(r *Runner) *stats.Table {
+	widths := []int{1, 2, 4, 8}
+	t := stats.NewTable("E14 (ext): FDP+CPF speedup vs fetch width, 16KB L1-I",
+		append([]string{"bench"}, intHeaders(widths)...)...)
+	for _, w := range r.suiteLarge() {
+		row := []interface{}{w.Name}
+		for _, fw := range widths {
+			base := core.DefaultConfig()
+			base.FetchWidth = fw
+			fdp := fdpCPF()
+			fdp.FetchWidth = fw
+			g := r.Run(w, fdp).SpeedupPctOver(r.Run(w, base))
+			row = append(row, fmt.Sprintf("%+.1f%%", g))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// E15StreamGeometry sweeps the stream-buffer baseline's geometry so the
+// headline comparison cannot be accused of a weak baseline.
+func E15StreamGeometry(r *Runner) *stats.Table {
+	t := stats.NewTable("E15 (ext): stream-buffer geometry (streams x depth), speedup at 16KB L1-I",
+		"bench", "1x4", "2x4", "4x4", "8x4", "4x2", "4x8")
+	shapes := [][2]int{{1, 4}, {2, 4}, {4, 4}, {8, 4}, {4, 2}, {4, 8}}
+	for _, w := range r.suiteLarge() {
+		base := r.Baseline(w, 16*1024)
+		row := []interface{}{w.Name}
+		for _, sh := range shapes {
+			cfg := core.DefaultConfig()
+			cfg.Prefetch.Kind = core.PrefetchStream
+			cfg.Prefetch.Streams = sh[0]
+			cfg.Prefetch.StreamDepth = sh[1]
+			row = append(row, fmt.Sprintf("%+.1f%%", r.Run(w, cfg).SpeedupPctOver(base)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// E16PerfectBound compares FDP+CPF against the perfect-L1-I upper bound: how
+// much of the total front-end opportunity fetch-directed prefetching
+// captures.
+func E16PerfectBound(r *Runner) *stats.Table {
+	t := stats.NewTable("E16 (ext): FDP+CPF vs perfect L1-I upper bound, 16KB L1-I",
+		"bench", "fdp+cpf", "perfect", "captured")
+	for _, w := range r.opts.Workloads {
+		base := r.Baseline(w, 16*1024)
+		fdp := r.Run(w, fdpCPF()).SpeedupPctOver(base)
+
+		perfectCfg := core.DefaultConfig()
+		perfectCfg.PerfectL1I = true
+		perfect := r.Run(w, perfectCfg).SpeedupPctOver(base)
+
+		captured := 0.0
+		if perfect > 0.05 {
+			captured = 100 * fdp / perfect
+		}
+		t.AddRow(w.Name,
+			fmt.Sprintf("%+.1f%%", fdp),
+			fmt.Sprintf("%+.1f%%", perfect),
+			fmt.Sprintf("%.0f%%", captured))
+	}
+	return t
+}
+
+// E11 gains a "local" predictor column via this variant used by the harness.
+
+// AllWithExtensions runs the reconstructed suite plus the extensions.
+func AllWithExtensions(r *Runner) []*stats.Table {
+	tables := All(r)
+	return append(tables,
+		E12WrongPathPIQ(r),
+		E13TagPortSweep(r),
+		E14FetchWidthSweep(r),
+		E15StreamGeometry(r),
+		E16PerfectBound(r),
+	)
+}

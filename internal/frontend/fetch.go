@@ -1,0 +1,261 @@
+package frontend
+
+import (
+	"fmt"
+
+	"fdip/internal/cache"
+	"fdip/internal/ftq"
+	"fdip/internal/isa"
+	"fdip/internal/memsys"
+	"fdip/internal/oracle"
+	"fdip/internal/pipe"
+	"fdip/internal/program"
+)
+
+// NotifyFunc reports each demand L1-I access to the prefetcher: the line,
+// whether it hit the cache, and whether it was served by the prefetch
+// buffer.
+type NotifyFunc func(line uint64, l1Hit, pfbHit bool, now int64)
+
+// FetchEngine drains the FTQ head through the L1-I, producing tagged uops.
+type FetchEngine struct {
+	im     *program.Image
+	stream oracle.Stream
+	q      *ftq.Queue
+	l1i    *cache.Cache
+	pfb    *cache.PrefetchBuffer
+	hier   *memsys.Hierarchy
+	width  int
+	notify NotifyFunc
+
+	stalled    bool
+	stallUntil int64
+	perfect    bool
+
+	diverged  bool
+	seq       uint64
+	cur       oracle.Record
+	exhausted bool
+
+	outBuf []pipe.Uop // reused delivery buffer
+
+	// DemandAccesses counts L1-I demand lookups; L1Hits and PFBHits their
+	// outcomes; FullMisses lookups that went to the L2 (LateMerges of
+	// those caught an in-flight prefetch). Delivered counts uops handed to
+	// the backend (WrongPath of them down a mispredicted path, OutOfImage
+	// of those past the code image). StallCycles counts cycles blocked on
+	// a demand miss, IdleNoFTQ cycles with an empty FTQ, BackendFull
+	// cycles with no decode capacity.
+	DemandAccesses, L1Hits, PFBHits, FullMisses, LateMerges uint64
+	Delivered, WrongPath, OutOfImage                        uint64
+	StallCycles, IdleNoFTQ, BackendFull                     uint64
+}
+
+// NewFetchEngine builds a fetch engine delivering up to width instructions
+// per cycle. notify may be nil.
+func NewFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, l1i *cache.Cache,
+	pfb *cache.PrefetchBuffer, hier *memsys.Hierarchy, width int, notify NotifyFunc) *FetchEngine {
+	return newFetchEngine(im, stream, q, l1i, pfb, hier, width, notify, false)
+}
+
+// NewPerfectFetchEngine builds a fetch engine whose every demand access hits
+// — the no-front-end-stall upper bound used by the evaluation.
+func NewPerfectFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, l1i *cache.Cache,
+	pfb *cache.PrefetchBuffer, hier *memsys.Hierarchy, width int, notify NotifyFunc) *FetchEngine {
+	return newFetchEngine(im, stream, q, l1i, pfb, hier, width, notify, true)
+}
+
+func newFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, l1i *cache.Cache,
+	pfb *cache.PrefetchBuffer, hier *memsys.Hierarchy, width int, notify NotifyFunc, perfect bool) *FetchEngine {
+	if width < 1 {
+		width = 4
+	}
+	f := &FetchEngine{
+		im: im, stream: stream, q: q, l1i: l1i, pfb: pfb, hier: hier,
+		width: width, notify: notify, perfect: perfect,
+	}
+	f.cur, f.exhausted = nextOrDone(stream)
+	return f
+}
+
+func nextOrDone(s oracle.Stream) (oracle.Record, bool) {
+	rec, ok := s.Next()
+	return rec, !ok
+}
+
+// Exhausted reports whether the oracle stream ended (trace replay only).
+func (f *FetchEngine) Exhausted() bool { return f.exhausted }
+
+// Seq returns the next uop sequence number.
+func (f *FetchEngine) Seq() uint64 { return f.seq }
+
+// Redirect clears misprediction state after a resolve: the wrong path ends,
+// any demand-miss stall belongs to squashed work, and fetch resumes at the
+// new FTQ content. (An in-flight wrong-path transfer still completes and
+// fills the cache — realistic pollution.)
+func (f *FetchEngine) Redirect() {
+	f.diverged = false
+	f.stalled = false
+}
+
+// Tick fetches from the FTQ head. accept is the backend's remaining decode
+// capacity; the returned uops (nil most cycles a miss is outstanding) were
+// delivered this cycle and their count never exceeds accept.
+func (f *FetchEngine) Tick(now int64, accept int) []pipe.Uop {
+	if f.exhausted {
+		return nil
+	}
+	if f.stalled {
+		if now < f.stallUntil {
+			f.StallCycles++
+			return nil
+		}
+		f.stalled = false
+	}
+	if accept <= 0 {
+		f.BackendFull++
+		return nil
+	}
+	b := f.q.Head()
+	if b == nil {
+		f.IdleNoFTQ++
+		return nil
+	}
+	pc := b.NextFetchPC()
+	line := f.l1i.LineAddr(pc)
+
+	// Demand access: one tag port, one line per cycle.
+	f.l1i.TryUsePort(now)
+	f.DemandAccesses++
+	switch {
+	case f.perfect:
+		f.L1Hits++
+		if f.notify != nil {
+			f.notify(line, true, false, now)
+		}
+	case f.l1i.Access(pc):
+		f.L1Hits++
+		if f.notify != nil {
+			f.notify(line, true, false, now)
+		}
+	case f.pfb.Take(line):
+		// Prefetch buffer hit: move the line into the L1-I and fetch
+		// through in the same cycle.
+		f.PFBHits++
+		f.l1i.Fill(line, true)
+		if f.notify != nil {
+			f.notify(line, false, true, now)
+		}
+	default:
+		tr := f.hier.Request(line, false, now)
+		f.FullMisses++
+		if tr.Prefetch {
+			f.LateMerges++
+		}
+		f.stalled = true
+		f.stallUntil = tr.Done
+		if f.notify != nil {
+			f.notify(line, false, false, now)
+		}
+		return nil
+	}
+
+	// Deliver instructions from this line, bounded by fetch width, block
+	// end, line end, and backend capacity. The buffer is reused; callers
+	// must consume it before the next Tick.
+	out := f.outBuf[:0]
+	for len(out) < f.width && len(out) < accept && !b.Done() {
+		if f.l1i.LineAddr(pc) != line {
+			break
+		}
+		u, stop := f.buildUop(pc, b, now)
+		if stop {
+			return out
+		}
+		out = append(out, u)
+		b.FetchedInstrs++
+		pc = b.NextFetchPC()
+	}
+	if b.Done() {
+		f.q.PopHead()
+	}
+	f.Delivered += uint64(len(out))
+	f.outBuf = out
+	return out
+}
+
+// buildUop constructs the dynamic record for the instruction at pc within
+// block b, tagging it against the oracle stream. stop is true when the
+// oracle stream is exhausted (trace replay end).
+func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64) (pipe.Uop, bool) {
+	u := pipe.Uop{
+		Seq:        f.seq,
+		PC:         pc,
+		FetchCycle: now,
+		BlockStart: b.Start,
+		BlockLen:   b.FetchedInstrs + 1,
+		FTBHit:     b.FTBHit,
+		HistCP:     b.HistCP,
+		RASCP:      b.RASCP,
+	}
+	ins, ok := f.im.InstrAt(pc)
+	if !ok {
+		// Wrong-path fetch ran past the code image; hardware would fetch
+		// garbage, we deliver phantom nops until the redirect arrives.
+		ins = isa.Instr{Kind: isa.Nop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+		f.OutOfImage++
+	}
+	u.Instr = ins
+
+	isTerminator := b.FetchedInstrs == b.NumInstrs-1
+	if isTerminator && b.EndsInCTI && b.PredTaken {
+		u.PredNextPC = b.PredTarget
+	} else {
+		u.PredNextPC = pc + isa.InstrBytes
+	}
+
+	if f.diverged {
+		f.WrongPath++
+		f.seq++
+		return u, false
+	}
+
+	if f.exhausted {
+		return u, true
+	}
+	rec := f.cur
+	if rec.PC != pc {
+		panic(fmt.Sprintf("frontend: correct-path fetch at %#x but oracle expects %#x", pc, rec.PC))
+	}
+	u.OnCorrectPath = true
+	u.ActualTaken = rec.Taken
+	u.ActualNextPC = rec.NextPC
+	if u.PredNextPC != rec.NextPC {
+		u.Mispredicted = true
+		u.MissKind = classifyMiss(ins.Kind, isTerminator && b.EndsInCTI, b.PredTaken, rec.Taken)
+		f.diverged = true
+	}
+	f.cur, f.exhausted = nextOrDone(f.stream)
+	f.seq++
+	return u, false
+}
+
+// classifyMiss names the misprediction cause.
+func classifyMiss(kind isa.Kind, predicted, predTaken, actualTaken bool) pipe.MispredictKind {
+	if !kind.IsCTI() {
+		// A non-CTI can only diverge if the block prediction was broken;
+		// treat it as an unseen-CTI-class front-end error.
+		return pipe.MissUnseenCTI
+	}
+	if !predicted {
+		return pipe.MissUnseenCTI
+	}
+	switch {
+	case kind == isa.CondBranch && predTaken != actualTaken:
+		return pipe.MissDirection
+	case kind.IsReturn():
+		return pipe.MissReturn
+	default:
+		return pipe.MissTarget
+	}
+}

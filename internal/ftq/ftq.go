@@ -1,0 +1,204 @@
+// Package ftq implements the fetch target queue — the structure that
+// decouples the branch-prediction unit from the fetch engine and whose
+// non-head entries feed fetch-directed prefetching.
+//
+// Each entry is a predicted fetch block. The queue tracks, per cache line a
+// block spans, the prefetch engine's progress on that line (candidate,
+// enqueued, prefetched, or filtered), which is how the original design
+// avoided re-prefetching lines as the prefetch engine re-scans the queue.
+package ftq
+
+import (
+	"fmt"
+
+	"fdip/internal/bpred"
+	"fdip/internal/isa"
+)
+
+// LineState tracks the prefetch engine's progress on one cache line of a
+// fetch block.
+type LineState uint8
+
+const (
+	// LineCandidate lines have not been considered yet.
+	LineCandidate LineState = iota
+	// LineEnqueued lines sit in the prefetch instruction queue.
+	LineEnqueued
+	// LinePrefetched lines have had a prefetch issued.
+	LinePrefetched
+	// LineFiltered lines were dropped by a filter (already cached, or
+	// rejected by cache-probe filtering).
+	LineFiltered
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case LineCandidate:
+		return "candidate"
+	case LineEnqueued:
+		return "enqueued"
+	case LinePrefetched:
+		return "prefetched"
+	case LineFiltered:
+		return "filtered"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Line is one cache line spanned by a fetch block.
+type Line struct {
+	// Addr is the line-aligned address.
+	Addr uint64
+	// State is the prefetch progress for this line.
+	State LineState
+}
+
+// Block is one FTQ entry: a predicted fetch block plus the recovery state
+// captured when it was predicted.
+type Block struct {
+	// Seq is the BPU's monotonically increasing block sequence number.
+	Seq uint64
+	// Start is the block's first instruction address.
+	Start uint64
+	// NumInstrs is the predicted block length, including the terminating
+	// CTI when EndsInCTI.
+	NumInstrs int
+	// EndsInCTI reports whether the block ends in a predicted CTI (false
+	// for maximal sequential blocks predicted on an FTB miss).
+	EndsInCTI bool
+	// CTIKind is the terminator's kind when EndsInCTI.
+	CTIKind isa.Kind
+	// PredTaken is the predicted direction of the terminator.
+	PredTaken bool
+	// PredTarget is the predicted target when PredTaken.
+	PredTarget uint64
+	// FTBHit records whether the FTB supplied this block.
+	FTBHit bool
+	// HistCP is the direction-predictor history checkpoint taken before
+	// this block's terminator predicted.
+	HistCP uint64
+	// RASCP is the return-address-stack checkpoint taken before this
+	// block's terminator adjusted the stack.
+	RASCP bpred.RASCheckpoint
+	// FetchedInstrs is the fetch engine's progress through the block.
+	FetchedInstrs int
+	// Lines lists the cache lines the block spans, in address order.
+	Lines []Line
+}
+
+// End returns the first byte address past the block.
+func (b *Block) End() uint64 { return b.Start + uint64(b.NumInstrs)*isa.InstrBytes }
+
+// NextFetchPC returns the address of the next unfetched instruction.
+func (b *Block) NextFetchPC() uint64 {
+	return b.Start + uint64(b.FetchedInstrs)*isa.InstrBytes
+}
+
+// Done reports whether the fetch engine has consumed the whole block.
+func (b *Block) Done() bool { return b.FetchedInstrs >= b.NumInstrs }
+
+// Queue is a bounded FIFO of fetch blocks.
+type Queue struct {
+	lineSize int
+	entries  []Block
+	head     int
+	count    int
+
+	// Pushed and Squashes count queue traffic; FullStalls counts Push
+	// rejections due to a full queue.
+	Pushed, Squashes, FullStalls uint64
+}
+
+// New creates a queue of the given capacity (fetch blocks) for a cache with
+// the given line size.
+func New(capacity, lineSize int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if lineSize < isa.InstrBytes {
+		lineSize = isa.InstrBytes
+	}
+	return &Queue{lineSize: lineSize, entries: make([]Block, capacity)}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.entries) }
+
+// Len returns the number of queued blocks.
+func (q *Queue) Len() int { return q.count }
+
+// Empty reports whether the queue is empty.
+func (q *Queue) Empty() bool { return q.count == 0 }
+
+// Full reports whether the queue is full.
+func (q *Queue) Full() bool { return q.count == len(q.entries) }
+
+// LineSize returns the cache line size used to decompose blocks.
+func (q *Queue) LineSize() int { return q.lineSize }
+
+// Push appends a block, computing its line decomposition. It returns false
+// (and counts a stall) when the queue is full. The slot's previous line
+// buffer is reused, so steady-state pushes do not allocate.
+func (q *Queue) Push(b Block) bool {
+	if q.Full() {
+		q.FullStalls++
+		return false
+	}
+	idx := (q.head + q.count) % len(q.entries)
+	lines := q.entries[idx].Lines[:0]
+	first := b.Start &^ uint64(q.lineSize-1)
+	last := (b.End() - 1) &^ uint64(q.lineSize-1)
+	for addr := first; addr <= last; addr += uint64(q.lineSize) {
+		lines = append(lines, Line{Addr: addr, State: LineCandidate})
+	}
+	b.Lines = lines
+	q.entries[idx] = b
+	q.count++
+	q.Pushed++
+	return true
+}
+
+// Head returns the fetch point, or nil when empty.
+func (q *Queue) Head() *Block {
+	if q.count == 0 {
+		return nil
+	}
+	return &q.entries[q.head]
+}
+
+// At returns the i-th block from the head (At(0) == Head()), or nil when out
+// of range. The pointer is valid until the next Push/Pop/Squash.
+func (q *Queue) At(i int) *Block {
+	if i < 0 || i >= q.count {
+		return nil
+	}
+	return &q.entries[(q.head+i)%len(q.entries)]
+}
+
+// PopHead removes the fetch point after the fetch engine consumes it.
+func (q *Queue) PopHead() {
+	if q.count == 0 {
+		return
+	}
+	q.head = (q.head + 1) % len(q.entries)
+	q.count--
+}
+
+// Squash empties the queue (branch misprediction redirect).
+func (q *Queue) Squash() {
+	q.head = 0
+	q.count = 0
+	q.Squashes++
+}
+
+// Scan calls fn for blocks starting at index from (0 == head) until fn
+// returns false or the queue is exhausted. It is the prefetch engine's view
+// of upcoming fetch addresses.
+func (q *Queue) Scan(from int, fn func(idx int, b *Block) bool) {
+	for i := from; i < q.count; i++ {
+		if !fn(i, q.At(i)) {
+			return
+		}
+	}
+}

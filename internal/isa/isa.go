@@ -1,0 +1,152 @@
+// Package isa defines the synthetic instruction set used throughout the
+// simulator.
+//
+// The reproduction targets an instruction *fetch* study, so the ISA only
+// models what the front end and a scoreboard backend can observe: an
+// instruction kind, register operands (for backend dependence modelling), an
+// execution latency class, and — for direct control-transfer instructions —
+// a static target address.
+//
+// Instructions are fixed-width (4 bytes) and word aligned, matching the
+// RISC-style machines the original paper simulated.
+package isa
+
+import "fmt"
+
+// InstrBytes is the size of every instruction in bytes. All instruction
+// addresses are InstrBytes-aligned.
+const InstrBytes = 4
+
+// Kind enumerates instruction categories. The front end cares about the
+// control-transfer kinds; the backend cares about latency and operands.
+type Kind uint8
+
+const (
+	// Nop performs no work. Used for padding between functions.
+	Nop Kind = iota
+	// ALU is a single-cycle integer operation.
+	ALU
+	// Mul is a multi-cycle integer operation (multiply/divide class).
+	Mul
+	// Load reads memory; the backend charges the data-cache hit latency.
+	Load
+	// Store writes memory; retires without stalling consumers.
+	Store
+	// FPU is a multi-cycle floating-point operation.
+	FPU
+	// CondBranch is a conditional direct branch: taken → Target, else
+	// fall through.
+	CondBranch
+	// Jump is an unconditional direct branch to Target.
+	Jump
+	// Call is a direct function call to Target; pushes the return address.
+	Call
+	// Ret returns to the address on top of the call stack.
+	Ret
+	// IndirectJump jumps through a register; the dynamic target comes from
+	// the oracle. Predicted via the BTB's last-seen target.
+	IndirectJump
+	// IndirectCall calls through a register; pushes the return address.
+	IndirectCall
+
+	numKinds
+)
+
+// NumKinds reports the number of distinct instruction kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{
+	Nop: "nop", ALU: "alu", Mul: "mul", Load: "load", Store: "store",
+	FPU: "fpu", CondBranch: "bcond", Jump: "jump", Call: "call", Ret: "ret",
+	IndirectJump: "ijump", IndirectCall: "icall",
+}
+
+// String returns the assembler-style mnemonic for k.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsCTI reports whether k is a control-transfer instruction.
+func (k Kind) IsCTI() bool {
+	switch k {
+	case CondBranch, Jump, Call, Ret, IndirectJump, IndirectCall:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether k transfers control only when taken.
+func (k Kind) IsConditional() bool { return k == CondBranch }
+
+// IsUnconditional reports whether k always transfers control.
+func (k Kind) IsUnconditional() bool { return k.IsCTI() && k != CondBranch }
+
+// IsCall reports whether k pushes a return address.
+func (k Kind) IsCall() bool { return k == Call || k == IndirectCall }
+
+// IsReturn reports whether k pops a return address.
+func (k Kind) IsReturn() bool { return k == Ret }
+
+// IsIndirect reports whether k's target is not encoded in the instruction.
+func (k Kind) IsIndirect() bool {
+	return k == Ret || k == IndirectJump || k == IndirectCall
+}
+
+// Latency returns the execution latency, in cycles, charged by the backend
+// once the instruction's operands are ready.
+func (k Kind) Latency() int {
+	switch k {
+	case Mul:
+		return 4
+	case FPU:
+		return 3
+	case Load:
+		return 2 // L1-D hit; the study assumes a well-behaved data side.
+	default:
+		return 1
+	}
+}
+
+// NoReg marks an absent register operand.
+const NoReg uint8 = 0xFF
+
+// NumRegs is the architectural register count. Register 0 is a hardwired
+// zero and never written.
+const NumRegs = 64
+
+// Instr is one static instruction in a program image.
+type Instr struct {
+	// Kind categorises the instruction.
+	Kind Kind
+	// Dst is the destination register, or NoReg.
+	Dst uint8
+	// Src1, Src2 are source registers, or NoReg.
+	Src1, Src2 uint8
+	// Target is the static target address for direct CTIs (CondBranch,
+	// Jump, Call). Zero and meaningless for other kinds.
+	Target uint64
+}
+
+// IsCTI reports whether the instruction transfers control.
+func (i Instr) IsCTI() bool { return i.Kind.IsCTI() }
+
+// String formats the instruction for debugging.
+func (i Instr) String() string {
+	if i.Kind.IsCTI() && !i.Kind.IsIndirect() {
+		return fmt.Sprintf("%s -> %#x", i.Kind, i.Target)
+	}
+	return i.Kind.String()
+}
+
+// Align returns addr rounded down to instruction alignment.
+func Align(addr uint64) uint64 { return addr &^ uint64(InstrBytes-1) }
+
+// NextPC returns the fall-through address of the instruction at pc.
+func NextPC(pc uint64) uint64 { return pc + InstrBytes }
+
+// WordIndex converts a byte address relative to base into an instruction
+// index.
+func WordIndex(addr, base uint64) int { return int((addr - base) / InstrBytes) }

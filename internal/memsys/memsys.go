@@ -1,0 +1,239 @@
+// Package memsys models everything below the L1-I: the L1↔L2 bus, a unified
+// L2, and main memory.
+//
+// The bus is the contended resource at the heart of the paper's filtering
+// story. It is modelled as a single slotted channel: every line transfer
+// occupies it for BusCyclesPerLine cycles. Demand misses reserve the bus
+// unconditionally (queueing behind earlier transfers); prefetchers are
+// expected to check BusIdle and issue only into idle slots, which is how the
+// original design prioritised demand traffic.
+package memsys
+
+import (
+	"fmt"
+	"sort"
+
+	"fdip/internal/cache"
+)
+
+// Config sizes the hierarchy below the L1-I.
+type Config struct {
+	// LineBytes is the transfer unit (must match the L1-I line size).
+	LineBytes int
+	// L2SizeBytes and L2Ways size the unified L2.
+	L2SizeBytes int
+	L2Ways      int
+	// L2HitLatency is the request-to-data latency for an L2 hit.
+	L2HitLatency int
+	// MemLatency is the additional latency of an L2 miss.
+	MemLatency int
+	// BusCyclesPerLine is the bus occupancy per line transfer
+	// (line size / bus width).
+	BusCyclesPerLine int
+}
+
+// DefaultConfig matches the paper-inspired baseline: 1MB 8-way L2 with a
+// 12-cycle hit, 70 additional cycles to memory, and an 8-byte bus moving a
+// 32-byte line in 4 cycles.
+func DefaultConfig() Config {
+	return Config{
+		LineBytes:        32,
+		L2SizeBytes:      1 << 20,
+		L2Ways:           8,
+		L2HitLatency:     12,
+		MemLatency:       70,
+		BusCyclesPerLine: 4,
+	}
+}
+
+func (c *Config) setDefaults() {
+	d := DefaultConfig()
+	if c.LineBytes <= 0 {
+		c.LineBytes = d.LineBytes
+	}
+	if c.L2SizeBytes <= 0 {
+		c.L2SizeBytes = d.L2SizeBytes
+	}
+	if c.L2Ways <= 0 {
+		c.L2Ways = d.L2Ways
+	}
+	if c.L2HitLatency <= 0 {
+		c.L2HitLatency = d.L2HitLatency
+	}
+	if c.MemLatency <= 0 {
+		c.MemLatency = d.MemLatency
+	}
+	if c.BusCyclesPerLine <= 0 {
+		c.BusCyclesPerLine = d.BusCyclesPerLine
+	}
+}
+
+// Transfer is one in-flight line movement from L2/memory toward the L1 side.
+type Transfer struct {
+	// Line is the line-aligned address.
+	Line uint64
+	// Done is the cycle the data arrives at the requester.
+	Done int64
+	// Prefetch records whether the original requester was a prefetcher.
+	Prefetch bool
+	// DemandMerged is set when a demand miss arrived while the transfer
+	// was in flight (a late but partially useful prefetch).
+	DemandMerged bool
+	// FromL2 reports whether the line hit in the L2.
+	FromL2 bool
+}
+
+// Hierarchy is the L2 + bus + memory model.
+type Hierarchy struct {
+	cfg Config
+	l2  *cache.Cache
+
+	busFreeAt int64
+	inflight  map[uint64]*Transfer
+	pending   []*Transfer
+
+	// BusBusyCycles accumulates bus occupancy for utilisation reports.
+	BusBusyCycles uint64
+	// DemandRequests/PrefetchRequests count new transfers by requester;
+	// DemandMerges counts demand misses absorbed by an in-flight prefetch,
+	// PrefetchMerges the reverse.
+	DemandRequests, PrefetchRequests uint64
+	DemandMerges, PrefetchMerges     uint64
+	// DemandBusWait accumulates cycles demand transfers waited for the bus.
+	DemandBusWait uint64
+	// L2DemandHits/L2DemandMisses and the prefetch twins split L2 outcomes
+	// by requester.
+	L2DemandHits, L2DemandMisses     uint64
+	L2PrefetchHits, L2PrefetchMisses uint64
+}
+
+// New builds the hierarchy.
+func New(cfg Config) *Hierarchy {
+	cfg.setDefaults()
+	return &Hierarchy{
+		cfg: cfg,
+		l2: cache.New(cache.Config{
+			SizeBytes: cfg.L2SizeBytes,
+			Ways:      cfg.L2Ways,
+			LineBytes: cfg.LineBytes,
+			Repl:      cache.LRU,
+			TagPorts:  4,
+		}),
+		inflight: make(map[uint64]*Transfer),
+	}
+}
+
+// Config returns the (normalised) configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// L2 exposes the unified L2 for statistics.
+func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// BusIdle reports whether a new transfer could start immediately at cycle
+// now. Prefetchers must check this before issuing.
+func (h *Hierarchy) BusIdle(now int64) bool { return h.busFreeAt <= now }
+
+// Inflight reports whether the line is already being transferred.
+func (h *Hierarchy) Inflight(line uint64) bool {
+	_, ok := h.inflight[line]
+	return ok
+}
+
+// Request starts (or merges into) a transfer of the given line at cycle now.
+// Demand requests always queue; prefetch requests should only be made when
+// BusIdle(now) is true, but the model tolerates queued prefetches for
+// experiments that deliberately ignore the idle rule.
+func (h *Hierarchy) Request(line uint64, prefetch bool, now int64) *Transfer {
+	line = line &^ uint64(h.cfg.LineBytes-1)
+	if t, ok := h.inflight[line]; ok {
+		if !prefetch {
+			if t.Prefetch && !t.DemandMerged {
+				t.DemandMerged = true
+				h.DemandMerges++
+			}
+		} else {
+			h.PrefetchMerges++
+		}
+		return t
+	}
+	start := now
+	if h.busFreeAt > start {
+		if !prefetch {
+			h.DemandBusWait += uint64(h.busFreeAt - start)
+		}
+		start = h.busFreeAt
+	}
+	h.busFreeAt = start + int64(h.cfg.BusCyclesPerLine)
+	h.BusBusyCycles += uint64(h.cfg.BusCyclesPerLine)
+
+	hit := h.l2.Access(line)
+	lat := h.cfg.L2HitLatency + h.cfg.BusCyclesPerLine
+	if !hit {
+		lat += h.cfg.MemLatency
+		h.l2.Fill(line, prefetch)
+	}
+	t := &Transfer{
+		Line:     line,
+		Done:     start + int64(lat),
+		Prefetch: prefetch,
+		FromL2:   hit,
+	}
+	h.inflight[line] = t
+	h.pending = append(h.pending, t)
+	if prefetch {
+		h.PrefetchRequests++
+		if hit {
+			h.L2PrefetchHits++
+		} else {
+			h.L2PrefetchMisses++
+		}
+	} else {
+		h.DemandRequests++
+		if hit {
+			h.L2DemandHits++
+		} else {
+			h.L2DemandMisses++
+		}
+	}
+	return t
+}
+
+// CompletedBy removes and returns all transfers finished at or before now,
+// in completion order.
+func (h *Hierarchy) CompletedBy(now int64) []*Transfer {
+	var done []*Transfer
+	rest := h.pending[:0]
+	for _, t := range h.pending {
+		if t.Done <= now {
+			done = append(done, t)
+			delete(h.inflight, t.Line)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	h.pending = rest
+	sort.Slice(done, func(i, j int) bool { return done[i].Done < done[j].Done })
+	return done
+}
+
+// PendingCount returns the number of in-flight transfers.
+func (h *Hierarchy) PendingCount() int { return len(h.pending) }
+
+// BusUtilization returns the fraction of the first totalCycles the bus was
+// busy.
+func (h *Hierarchy) BusUtilization(totalCycles int64) float64 {
+	if totalCycles <= 0 {
+		return 0
+	}
+	u := float64(h.BusBusyCycles) / float64(totalCycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// String describes the hierarchy.
+func (h *Hierarchy) String() string {
+	return fmt.Sprintf("L2 %s, %d-cycle hit, +%d to memory, %d-cycle bus/line",
+		h.l2, h.cfg.L2HitLatency, h.cfg.MemLatency, h.cfg.BusCyclesPerLine)
+}

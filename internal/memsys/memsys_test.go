@@ -1,0 +1,173 @@
+package memsys
+
+import (
+	"testing"
+)
+
+func hier() *Hierarchy {
+	return New(Config{
+		LineBytes:        32,
+		L2SizeBytes:      1 << 16,
+		L2Ways:           4,
+		L2HitLatency:     10,
+		MemLatency:       50,
+		BusCyclesPerLine: 4,
+	})
+}
+
+func TestColdMissLatency(t *testing.T) {
+	h := hier()
+	tr := h.Request(0x1000, false, 100)
+	// start 100, bus 4, L2 hit lat 10 + mem 50 → done 100+10+50+4 = 164
+	if tr.Done != 164 {
+		t.Errorf("Done = %d, want 164", tr.Done)
+	}
+	if tr.FromL2 {
+		t.Error("cold miss reported as L2 hit")
+	}
+	if h.L2DemandMisses != 1 {
+		t.Errorf("L2DemandMisses = %d", h.L2DemandMisses)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	h := hier()
+	t1 := h.Request(0x1000, false, 0)
+	h.CompletedBy(t1.Done)
+	tr := h.Request(0x1000, false, 1000)
+	if tr.Done != 1000+10+4 {
+		t.Errorf("L2-hit Done = %d, want 1014", tr.Done)
+	}
+	if !tr.FromL2 {
+		t.Error("second access missed L2")
+	}
+}
+
+func TestBusSerialization(t *testing.T) {
+	h := hier()
+	a := h.Request(0x1000, false, 0)
+	b := h.Request(0x2000, false, 0)
+	// b's bus slot starts when a's ends (cycle 4).
+	if b.Done != a.Done+4 {
+		t.Errorf("b.Done = %d, want %d", b.Done, a.Done+4)
+	}
+	if h.DemandBusWait != 4 {
+		t.Errorf("DemandBusWait = %d", h.DemandBusWait)
+	}
+	if h.BusBusyCycles != 8 {
+		t.Errorf("BusBusyCycles = %d", h.BusBusyCycles)
+	}
+}
+
+func TestBusIdle(t *testing.T) {
+	h := hier()
+	if !h.BusIdle(0) {
+		t.Error("fresh bus not idle")
+	}
+	h.Request(0x1000, false, 0)
+	if h.BusIdle(3) {
+		t.Error("bus idle during transfer")
+	}
+	if !h.BusIdle(4) {
+		t.Error("bus not idle after transfer slot")
+	}
+}
+
+func TestDemandMergesIntoPrefetch(t *testing.T) {
+	h := hier()
+	p := h.Request(0x1000, true, 0)
+	d := h.Request(0x1000, false, 2)
+	if d != p {
+		t.Error("demand did not merge into in-flight prefetch")
+	}
+	if !p.DemandMerged {
+		t.Error("DemandMerged not set")
+	}
+	if h.DemandMerges != 1 || h.DemandRequests != 0 {
+		t.Errorf("merges=%d demandReqs=%d", h.DemandMerges, h.DemandRequests)
+	}
+	// Prefetch merging into anything counts separately.
+	h.Request(0x1000, true, 3)
+	if h.PrefetchMerges != 1 {
+		t.Errorf("PrefetchMerges = %d", h.PrefetchMerges)
+	}
+}
+
+func TestCompletedByOrderAndRemoval(t *testing.T) {
+	h := hier()
+	// Warm 0x2000 into L2 so it completes fast later.
+	w := h.Request(0x2000, false, 0)
+	h.CompletedBy(w.Done)
+
+	slow := h.Request(0x1000, false, 200) // cold: done 264
+	fast := h.Request(0x2000, false, 200) // L2 hit, bus queued: start 204 → done 218
+	if fast.Done >= slow.Done {
+		t.Fatalf("expected out-of-order completion: fast=%d slow=%d", fast.Done, slow.Done)
+	}
+	done := h.CompletedBy(fast.Done)
+	if len(done) != 1 || done[0] != fast {
+		t.Fatalf("CompletedBy returned %d transfers", len(done))
+	}
+	if h.Inflight(0x2000) {
+		t.Error("completed transfer still inflight")
+	}
+	if !h.Inflight(0x1000) {
+		t.Error("pending transfer dropped")
+	}
+	done = h.CompletedBy(slow.Done)
+	if len(done) != 1 || done[0] != slow {
+		t.Fatalf("second CompletedBy returned %d", len(done))
+	}
+	if h.PendingCount() != 0 {
+		t.Errorf("PendingCount = %d", h.PendingCount())
+	}
+}
+
+func TestLineAlignment(t *testing.T) {
+	h := hier()
+	a := h.Request(0x1004, false, 0)
+	b := h.Request(0x101c, false, 0)
+	if a != b {
+		t.Error("same-line requests created two transfers")
+	}
+}
+
+func TestPrefetchFillsL2(t *testing.T) {
+	h := hier()
+	p := h.Request(0x1000, true, 0)
+	h.CompletedBy(p.Done)
+	d := h.Request(0x1000, false, 500)
+	if !d.FromL2 {
+		t.Error("prefetch did not install line in L2")
+	}
+	if h.L2PrefetchMisses != 1 || h.L2DemandHits != 1 {
+		t.Errorf("l2pm=%d l2dh=%d", h.L2PrefetchMisses, h.L2DemandHits)
+	}
+}
+
+func TestBusUtilization(t *testing.T) {
+	h := hier()
+	h.Request(0x1000, false, 0)
+	h.Request(0x2000, false, 0)
+	if got := h.BusUtilization(16); got != 0.5 {
+		t.Errorf("BusUtilization = %v", got)
+	}
+	if got := h.BusUtilization(0); got != 0 {
+		t.Errorf("BusUtilization(0) = %v", got)
+	}
+	if got := h.BusUtilization(4); got != 1 {
+		t.Errorf("BusUtilization clamp = %v", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	h := New(Config{})
+	c := h.Config()
+	d := DefaultConfig()
+	if c != d {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if h.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,45 @@
+package pipe
+
+import (
+	"testing"
+
+	"fdip/internal/isa"
+)
+
+func TestMispredictKindString(t *testing.T) {
+	kinds := []MispredictKind{MissNone, MissDirection, MissTarget, MissUnseenCTI, MissReturn}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" {
+			t.Errorf("kind %d: empty name", k)
+		}
+		if seen[s] {
+			t.Errorf("kind %d: duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if MispredictKind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestMispredictKindsIndexResolvedArray(t *testing.T) {
+	// The backend indexes a [5]uint64 by MispredictKind; the enum must
+	// stay within that bound.
+	for _, k := range []MispredictKind{MissNone, MissDirection, MissTarget, MissUnseenCTI, MissReturn} {
+		if int(k) >= 5 {
+			t.Fatalf("kind %v = %d overflows the resolved-mispredict array", k, k)
+		}
+	}
+}
+
+func TestUopZeroValueIsSafe(t *testing.T) {
+	var u Uop
+	if u.Mispredicted || u.OnCorrectPath {
+		t.Error("zero uop carries prediction state")
+	}
+	if u.Instr.Kind != isa.Nop {
+		t.Errorf("zero uop kind = %v", u.Instr.Kind)
+	}
+}

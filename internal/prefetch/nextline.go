@@ -1,0 +1,74 @@
+package prefetch
+
+// NextLine is Smith-style tagged next-line prefetching: a demand miss on
+// line L, or the first use of a prefetched line L, triggers a prefetch of
+// L+1. Triggers that find the bus busy wait in a small pending queue.
+type NextLine struct {
+	port    port
+	pending []uint64
+	cap     int
+
+	// Triggers counts miss/first-use events; PendingDrops counts triggers
+	// discarded because the pending queue was full.
+	Triggers, PendingDrops uint64
+}
+
+// NewNextLine creates a tagged next-line prefetcher with a pending queue of
+// pendCap triggers.
+func NewNextLine(env Env, pendCap int) *NextLine {
+	if pendCap < 1 {
+		pendCap = 4
+	}
+	return &NextLine{port: port{env: env}, cap: pendCap}
+}
+
+// Name implements Prefetcher.
+func (n *NextLine) Name() string { return "nextline" }
+
+// OnDemandAccess implements Prefetcher: misses and prefetch-buffer hits
+// (first use of a prefetched line) trigger the next line.
+func (n *NextLine) OnDemandAccess(lineAddr uint64, l1Hit, pfbHit bool, now int64) {
+	if l1Hit && !pfbHit {
+		return
+	}
+	n.Triggers++
+	next := lineAddr + uint64(n.port.env.LineBytes)
+	n.enqueue(next)
+}
+
+func (n *NextLine) enqueue(line uint64) {
+	for _, p := range n.pending {
+		if p == line {
+			return
+		}
+	}
+	if len(n.pending) >= n.cap {
+		n.PendingDrops++
+		return
+	}
+	n.pending = append(n.pending, line)
+}
+
+// Tick implements Prefetcher: issue the oldest pending trigger into an idle
+// bus slot.
+func (n *NextLine) Tick(now int64) {
+	for len(n.pending) > 0 {
+		line := n.pending[0]
+		switch n.port.tryIssue(line, now) {
+		case issued:
+			n.pending = n.pending[1:]
+			return // one bus slot per cycle
+		case busBusy:
+			return // keep waiting
+		default: // present or inflight: discard and try the next
+			n.pending = n.pending[1:]
+		}
+	}
+}
+
+// OnSquash implements Prefetcher. Next-line triggers come from the demand
+// stream, not predictions, so redirects do not invalidate them.
+func (n *NextLine) OnSquash() {}
+
+// IssueStats implements Prefetcher.
+func (n *NextLine) IssueStats() PortStats { return n.port.stats }

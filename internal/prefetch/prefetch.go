@@ -1,0 +1,114 @@
+// Package prefetch implements the instruction prefetch engines the paper
+// evaluates: fetch-directed prefetching (the contribution), tagged next-line
+// prefetching and multi-way stream buffers (the baselines), and a null
+// prefetcher.
+//
+// All engines share the same issue discipline for a fair bandwidth
+// comparison: prefetches are issued only into idle L1↔L2 bus slots, at most
+// one per cycle, and land in the shared fully-associative prefetch buffer
+// probed alongside the L1-I. Lines already cached, buffered, or in flight
+// are never re-requested.
+package prefetch
+
+import (
+	"fdip/internal/cache"
+	"fdip/internal/ftq"
+	"fdip/internal/memsys"
+)
+
+// Env wires a prefetcher to the structures it observes and drives.
+type Env struct {
+	// L1I is the instruction cache (probed by cache-probe filtering).
+	L1I *cache.Cache
+	// PFB is the shared prefetch buffer prefetched lines land in.
+	PFB *cache.PrefetchBuffer
+	// Hier is the bus + L2 + memory below the L1-I.
+	Hier *memsys.Hierarchy
+	// FTQ is the fetch target queue (used by fetch-directed prefetching).
+	FTQ *ftq.Queue
+	// LineBytes is the cache line size.
+	LineBytes int
+}
+
+// Prefetcher is the interface the processor core drives each cycle.
+type Prefetcher interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Tick runs once per cycle, after the fetch engine.
+	Tick(now int64)
+	// OnDemandAccess notifies the engine of a demand L1-I access to
+	// lineAddr and its outcome: l1Hit for a cache hit, pfbHit for a
+	// prefetch-buffer hit (mutually exclusive; both false on a full miss).
+	OnDemandAccess(lineAddr uint64, l1Hit, pfbHit bool, now int64)
+	// OnSquash notifies the engine of a front-end redirect: the FTQ was
+	// squashed and queued predictions are dead.
+	OnSquash()
+	// IssueStats returns the shared issue-port counters.
+	IssueStats() PortStats
+}
+
+// PortStats counts the issue port's decisions.
+type PortStats struct {
+	// Issued counts prefetch transfers started on the bus.
+	Issued uint64
+	// DroppedPresent counts candidates already in the L1-I-side storage
+	// (prefetch buffer); DroppedInflight candidates already on the bus;
+	// DeferredBusBusy candidates that found no idle bus slot this cycle.
+	DroppedPresent, DroppedInflight, DeferredBusBusy uint64
+}
+
+// port is the shared issue path: hygiene checks, then an idle-bus request.
+type port struct {
+	env   Env
+	stats PortStats
+}
+
+// issueResult tells the caller why an issue did not happen.
+type issueResult uint8
+
+const (
+	issued issueResult = iota
+	dropPresent
+	dropInflight
+	busBusy
+)
+
+// tryIssue attempts to start a prefetch of line at cycle now.
+func (p *port) tryIssue(line uint64, now int64) issueResult {
+	if p.env.PFB.Contains(line) {
+		p.stats.DroppedPresent++
+		return dropPresent
+	}
+	if p.env.Hier.Inflight(line) {
+		p.stats.DroppedInflight++
+		return dropInflight
+	}
+	if !p.env.Hier.BusIdle(now) {
+		p.stats.DeferredBusBusy++
+		return busBusy
+	}
+	p.env.Hier.Request(line, true, now)
+	p.stats.Issued++
+	return issued
+}
+
+// None is the no-prefetch baseline.
+type None struct{}
+
+// NewNone returns the null prefetcher.
+func NewNone() *None { return &None{} }
+
+// Name implements Prefetcher.
+func (*None) Name() string { return "none" }
+
+// Tick implements Prefetcher.
+func (*None) Tick(int64) {}
+
+// OnDemandAccess implements Prefetcher.
+func (*None) OnDemandAccess(uint64, bool, bool, int64) {}
+
+// OnSquash implements Prefetcher.
+func (*None) OnSquash() {}
+
+// IssueStats implements Prefetcher.
+func (*None) IssueStats() PortStats { return PortStats{} }

@@ -1,0 +1,300 @@
+// Package stats provides the measurement plumbing shared by the simulator:
+// histograms, rate helpers, geometric means, and fixed-width text tables in
+// the style of the paper's result presentation.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Pct returns 100*n/d, or 0 when d == 0.
+func Pct(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// Ratio returns n/d, or 0 when d == 0.
+func Ratio(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// PerKilo returns 1000*n/d (e.g. misses per kilo-instruction), or 0 when
+// d == 0.
+func PerKilo(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 1000 * float64(n) / float64(d)
+}
+
+// Gmean returns the geometric mean of xs, ignoring non-positive entries
+// (callers should pass speedup factors, never percentages that can be -100).
+func Gmean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// GmeanSpeedupPct converts per-benchmark percentage gains into the geometric
+// mean percentage gain: gmean(1+g_i/100) - 1, in percent.
+func GmeanSpeedupPct(gainsPct []float64) float64 {
+	factors := make([]float64, 0, len(gainsPct))
+	for _, g := range gainsPct {
+		factors = append(factors, 1+g/100)
+	}
+	g := Gmean(factors)
+	if g == 0 {
+		return 0
+	}
+	return (g - 1) * 100
+}
+
+// Histogram is a bounded linear histogram with an overflow bucket.
+type Histogram struct {
+	// BucketWidth is the value span of each bucket.
+	BucketWidth int
+	buckets     []uint64
+	over        uint64
+	count       uint64
+	sum         int64
+	max         int64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width,
+// covering [0, n*width); larger samples land in the overflow bucket.
+func NewHistogram(n, width int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if width <= 0 {
+		width = 1
+	}
+	return &Histogram{BucketWidth: width, buckets: make([]uint64, n)}
+}
+
+// Add records one sample. Negative samples clamp to zero.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += int64(v)
+	if int64(v) > h.max {
+		h.max = int64(v)
+	}
+	b := v / h.BucketWidth
+	if b >= len(h.buckets) {
+		h.over++
+		return
+	}
+	h.buckets[b]++
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Bucket returns the count in bucket i (samples in [i*w, (i+1)*w)).
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// Overflow returns the count of samples past the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// NumBuckets returns the configured bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Quantile returns an upper bound of the q-quantile (0 <= q <= 1) using
+// bucket upper edges; overflow samples report the observed max.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return int64((i + 1) * h.BucketWidth)
+		}
+	}
+	return h.max
+}
+
+// Table renders fixed-width text tables. Columns auto-size; numeric cells
+// are right-aligned.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with 2 decimal
+// places.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				if isNumeric(c) {
+					parts[i] = fmt.Sprintf("%*s", widths[i], c)
+				} else {
+					parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+				}
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// CSV writes the table as comma-separated values (no title line).
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, r := range t.rows {
+		cells = cells[:0]
+		for _, c := range r {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot, digit := false, false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digit = true
+		case r == '-' && i == 0:
+		case r == '.' && !dot:
+			dot = true
+		case r == '%' && i == len(s)-1:
+		case r == 'x' || r == 'K' || r == 'M':
+			// allow hex and unit suffixes to right-align
+		default:
+			return false
+		}
+	}
+	return digit
+}
+
+// Sorted returns keys of a string-keyed map in sorted order; a small helper
+// for deterministic output.
+func Sorted[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPctRatioPerKilo(t *testing.T) {
+	if got := Pct(1, 4); got != 25 {
+		t.Errorf("Pct = %v", got)
+	}
+	if got := Pct(1, 0); got != 0 {
+		t.Errorf("Pct div0 = %v", got)
+	}
+	if got := Ratio(3, 2); got != 1.5 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Errorf("Ratio div0 = %v", got)
+	}
+	if got := PerKilo(5, 1000); got != 5 {
+		t.Errorf("PerKilo = %v", got)
+	}
+	if got := PerKilo(5, 0); got != 0 {
+		t.Errorf("PerKilo div0 = %v", got)
+	}
+}
+
+func TestGmean(t *testing.T) {
+	got := Gmean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Gmean(1,4) = %v, want 2", got)
+	}
+	if Gmean(nil) != 0 {
+		t.Error("Gmean(nil) != 0")
+	}
+	if Gmean([]float64{-1, 0}) != 0 {
+		t.Error("Gmean of non-positives != 0")
+	}
+	// Non-positives ignored, not zeroing.
+	got = Gmean([]float64{2, -5})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Gmean(2,-5) = %v, want 2", got)
+	}
+}
+
+func TestGmeanSpeedupPct(t *testing.T) {
+	// 10% and 10% gains → 10% gmean gain.
+	got := GmeanSpeedupPct([]float64{10, 10})
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("GmeanSpeedupPct = %v, want 10", got)
+	}
+	// 0% and 21% → sqrt(1.21)-1 = 10%.
+	got = GmeanSpeedupPct([]float64{0, 21})
+	if math.Abs(got-10) > 1e-6 {
+		t.Errorf("GmeanSpeedupPct = %v, want 10", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4, 10)
+	for _, v := range []int{0, 5, 9, 10, 25, 39, 40, 1000, -3} {
+		h.Add(v)
+	}
+	if h.Count() != 9 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Bucket(0) != 4 { // 0,5,9,-3(clamped)
+		t.Errorf("Bucket(0) = %d, want 4", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 || h.Bucket(2) != 1 || h.Bucket(3) != 1 {
+		t.Errorf("buckets = %d %d %d", h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d", h.Overflow())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Error("out-of-range bucket access not zero")
+	}
+}
+
+func TestHistogramMeanQuantile(t *testing.T) {
+	h := NewHistogram(100, 1)
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < 50 || q50 > 52 {
+		t.Errorf("Quantile(0.5) = %d", q50)
+	}
+	if h.Quantile(0) < 1 {
+		t.Errorf("Quantile(0) = %d", h.Quantile(0))
+	}
+	if (&Histogram{BucketWidth: 1}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := NewHistogram(32, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Intn(200))
+	}
+	f := func(a, b float64) bool {
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Speedups", "bench", "fdp", "nlp")
+	tb.AddRow("gcc", 12.5, 4.25)
+	tb.AddRow("vortex", 20.125, 6.0)
+	out := tb.String()
+	if !strings.Contains(out, "== Speedups ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "12.50") || !strings.Contains(out, "4.25") {
+		t.Errorf("missing float formatting:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4+0 { // title, header, rule, 2 rows = 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow(`needs,"quoting`, 1.0)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"needs,""quoting"`) {
+		t.Errorf("CSV escaping wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestIsNumericAlignment(t *testing.T) {
+	for _, s := range []string{"12", "-3.5", "99%", "0x12", "16K"} {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"", "gcc", "a1", "1.2.3"} {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}
+
+func TestSorted(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := Sorted(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("Sorted = %v", got)
+	}
+}

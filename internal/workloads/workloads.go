@@ -1,0 +1,214 @@
+// Package workloads defines the named synthetic benchmarks the experiments
+// run — stand-ins for the SPEC95/C++ programs the original paper evaluated
+// (gcc, go, m88ksim, perl, vortex, groff, deltablue, tex).
+//
+// Each workload is a program.Params vector chosen so the *properties that
+// drive front-end behaviour* land in the ranges characteristic of the named
+// program class: instruction footprint relative to a 16KB L1-I, basic-block
+// size, branch mix, loop structure, and dispatch style. The parameters were
+// calibrated by measuring baseline (no-prefetch) L1-I miss rates and branch
+// MPKI on the default machine; EXPERIMENTS.md records the measured
+// characterisation (experiment E1).
+package workloads
+
+import "fdip/internal/program"
+
+// Workload names a calibrated synthetic benchmark.
+type Workload struct {
+	// Name is the benchmark identifier used throughout the harness.
+	Name string
+	// Description says what program class it stands in for.
+	Description string
+	// LargeFootprint marks instruction-bound workloads whose code far
+	// exceeds the L1-I (the "server-class" half of the suite).
+	LargeFootprint bool
+	// Params generates the program image.
+	Params program.Params
+	// Seed drives the oracle walker (branch outcomes).
+	Seed int64
+}
+
+// base returns the shared parameter skeleton.
+func base(seed int64) program.Params {
+	p := program.DefaultParams()
+	p.Seed = seed
+	return p
+}
+
+// All returns the benchmark suite in canonical order.
+func All() []Workload {
+	return []Workload{
+		gcc(), goPlay(), groff(), m88ksim(), perl(), vortex(), deltablue(), tex(),
+	}
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Names lists the suite's workload names in canonical order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+func gcc() Workload {
+	p := base(101)
+	p.NumFuncs = 1200
+	p.MeanBlocksPerFunc = 12
+	p.MeanBlockLen = 5
+	p.MaxLoopsPerFunc = 1
+	p.MeanLoopTrip = 5
+	p.DispatchFanout = 32
+	p.DispatchTargets = 28
+	p.DispatchZipf = 0.45
+	p.CallSkew = 1.8
+	p.CondFrac = 0.40
+	return Workload{
+		Name:           "gcc",
+		Description:    "optimizing compiler: very large code, pass-structured control flow",
+		LargeFootprint: true,
+		Params:         p,
+		Seed:           1101,
+	}
+}
+
+func goPlay() Workload {
+	p := base(102)
+	p.NumFuncs = 320
+	p.MeanBlocksPerFunc = 9
+	p.MeanBlockLen = 4
+	p.CondFrac = 0.48
+	p.DispatchTargets = 10
+	p.DispatchZipf = 0.9
+	p.MeanLoopTrip = 6
+	return Workload{
+		Name:        "go",
+		Description: "game AI: branchy integer code, hard-to-predict decisions",
+		Params:      p,
+		Seed:        1102,
+	}
+}
+
+func groff() Workload {
+	p := base(103)
+	p.NumFuncs = 520
+	p.MeanBlocksPerFunc = 10
+	p.MeanBlockLen = 5
+	p.MaxLoopsPerFunc = 1
+	p.MeanLoopTrip = 4
+	p.IndirectFrac = 0.16
+	p.DispatchFanout = 28
+	p.DispatchTargets = 18
+	p.DispatchZipf = 0.4
+	return Workload{
+		Name:           "groff",
+		Description:    "C++ text formatter: virtual dispatch, mid-size footprint",
+		LargeFootprint: true,
+		Params:         p,
+		Seed:           1103,
+	}
+}
+
+func m88ksim() Workload {
+	p := base(104)
+	p.NumFuncs = 180
+	p.MeanBlocksPerFunc = 11
+	p.MeanBlockLen = 6
+	p.MaxLoopsPerFunc = 3
+	p.MeanLoopTrip = 14
+	p.DispatchTargets = 6
+	p.DispatchZipf = 1.2
+	return Workload{
+		Name:        "m88ksim",
+		Description: "CPU simulator: hot interpreter loop, strong locality",
+		Params:      p,
+		Seed:        1104,
+	}
+}
+
+func perl() Workload {
+	p := base(105)
+	p.NumFuncs = 760
+	p.MeanBlocksPerFunc = 11
+	p.MeanBlockLen = 5
+	p.MaxLoopsPerFunc = 1
+	p.MeanLoopTrip = 4
+	p.DispatchFanout = 40
+	p.DispatchTargets = 48
+	p.DispatchZipf = 0.3
+	p.IndirectFrac = 0.12
+	return Workload{
+		Name:           "perl",
+		Description:    "interpreter: opcode dispatch over many handlers",
+		LargeFootprint: true,
+		Params:         p,
+		Seed:           1105,
+	}
+}
+
+func vortex() Workload {
+	p := base(106)
+	p.NumFuncs = 1500
+	p.MeanBlocksPerFunc = 12
+	p.MeanBlockLen = 5
+	p.MaxLoopsPerFunc = 1
+	p.MeanLoopTrip = 3
+	p.DispatchFanout = 36
+	p.DispatchTargets = 32
+	p.DispatchZipf = 0.25
+	p.IndirectFrac = 0.12
+	p.CallSkew = 1.5
+	return Workload{
+		Name:           "vortex",
+		Description:    "object database: huge layered code, poor locality",
+		LargeFootprint: true,
+		Params:         p,
+		Seed:           1106,
+	}
+}
+
+func deltablue() Workload {
+	p := base(107)
+	p.NumFuncs = 140
+	p.MeanBlocksPerFunc = 8
+	p.MeanBlockLen = 4
+	p.IndirectFrac = 0.20
+	p.DispatchTargets = 8
+	p.DispatchZipf = 1.0
+	return Workload{
+		Name:        "deltablue",
+		Description: "C++ constraint solver: small hot footprint, virtual calls",
+		Params:      p,
+		Seed:        1107,
+	}
+}
+
+func tex() Workload {
+	p := base(108)
+	p.NumFuncs = 640
+	p.MeanBlocksPerFunc = 13
+	p.MeanBlockLen = 6
+	p.MaxLoopsPerFunc = 1
+	p.MeanLoopTrip = 6
+	p.DispatchFanout = 28
+	p.DispatchTargets = 20
+	p.DispatchZipf = 0.5
+	return Workload{
+		Name:           "tex",
+		Description:    "typesetter: large code, mixed loops and dispatch",
+		LargeFootprint: true,
+		Params:         p,
+		Seed:           1108,
+	}
+}
