@@ -1,7 +1,8 @@
 // Benchmark harness: one testing.B per reconstructed table/figure of the
-// paper's evaluation (experiments E1..E11, see DESIGN.md §4). Each benchmark
-// regenerates its table and reports headline metrics; the full tables print
-// on the first iteration.
+// paper's evaluation (experiments E1..E16, see DESIGN.md §4), plus engine
+// benchmarks that measure batch-sweep throughput sequentially and in
+// parallel. Each experiment benchmark regenerates its table and reports
+// headline metrics; the full tables print on the first iteration.
 //
 // The per-point instruction budget defaults to 200k so `go test -bench=.`
 // finishes in minutes; set FDIP_BENCH_INSTRS to raise it for
@@ -9,8 +10,10 @@
 package fdip
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -35,12 +38,16 @@ func newRunner() *experiments.Runner {
 
 // runExperiment executes fn once per iteration, printing the table on the
 // first and reporting rows as a sanity metric.
-func runExperiment(b *testing.B, fn func(r *experiments.Runner) *stats.Table) {
+func runExperiment(b *testing.B, fn func(ctx context.Context, r *experiments.Runner) (*stats.Table, error)) {
 	b.ReportAllocs()
+	ctx := context.Background()
 	var rows int
 	for i := 0; i < b.N; i++ {
 		r := newRunner()
-		t := fn(r)
+		t, err := fn(ctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		rows = t.NumRows()
 		if i == 0 {
 			fmt.Printf("\n%s\n", t)
@@ -108,6 +115,58 @@ func BenchmarkE10FTBSweep(b *testing.B) {
 func BenchmarkE11PredictorAblation(b *testing.B) {
 	runExperiment(b, experiments.E11Ablation)
 }
+
+// sweepJobs builds the engine benchmark's job list: the full benchmark
+// suite under the no-prefetch baseline and the headline FDP+CPF machine.
+func sweepJobs() []Job {
+	fdpCfg := DefaultConfig()
+	fdpCfg.Prefetch.Kind = PrefetchFDP
+	fdpCfg.Prefetch.FDP.CPF = CPFConservative
+	var jobs []Job
+	for _, w := range Workloads() {
+		jobs = append(jobs,
+			Job{Name: w.Name + "/none", Workload: w.Name, Config: DefaultConfig()},
+			Job{Name: w.Name + "/fdp+cpf", Workload: w.Name, Config: fdpCfg})
+	}
+	return jobs
+}
+
+// benchmarkSweep measures end-to-end batch throughput of Engine.Sweep at a
+// given worker count; images are pre-generated and shared so the measurement
+// isolates simulation parallelism.
+func benchmarkSweep(b *testing.B, workers int) {
+	jobs := sweepJobs()
+	cache := NewImageCache()
+	// Warm the image cache once so every iteration measures simulation.
+	warm := NewEngine(WithWorkers(workers), WithInstrBudget(1000), WithImageCache(cache))
+	if _, err := warm.Sweep(context.Background(), jobs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(WithWorkers(workers), WithInstrBudget(benchInstrs()/4), WithImageCache(cache))
+		outs, err := eng.Sweep(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, out := range outs {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
+}
+
+// BenchmarkSweepSequential is the 1-worker reference: the cost of the batch
+// on the old synchronous path's execution model.
+func BenchmarkSweepSequential(b *testing.B) { benchmarkSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same batch across all cores; on a
+// multi-core host the speedup over BenchmarkSweepSequential approaches the
+// core count (results are bit-identical either way).
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (cycles/second) of the default machine with FDP enabled — the cost of one

@@ -1,22 +1,29 @@
 // Command fdipbench runs the full reconstructed evaluation (experiments
 // E1..E11 from DESIGN.md) plus the extension ablations (E12..E16) and prints
-// the paper-style tables.
+// the paper-style tables. Experiments execute concurrently on the shared
+// simulation engine: the whole suite's job grid is swept in parallel up to
+// the worker bound, with configurations shared between experiments (e.g. the
+// no-prefetch baseline) simulated once. Ctrl-C cancels the suite promptly.
 //
-//	fdipbench                      # full suite, 1M instructions per point
-//	fdipbench -instrs 250000      # quicker pass
-//	fdipbench -only E2,E5          # selected experiments
-//	fdipbench -workloads gcc,perl  # restricted benchmark set
+//	fdipbench                       # full suite, 1M instructions per point
+//	fdipbench -instrs 250000        # quicker pass
+//	fdipbench -only E2,E5           # selected experiments
+//	fdipbench -workloads gcc,perl   # restricted benchmark set
+//	fdipbench -workers 16           # widen the simulation pool
+//	fdipbench -json                 # machine-readable tables
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"fdip/internal/engine"
 	"fdip/internal/experiments"
-	"fdip/internal/stats"
 	"fdip/internal/workloads"
 )
 
@@ -25,12 +32,23 @@ func main() {
 		instrs  = flag.Uint64("instrs", 1_000_000, "committed instructions per simulation point")
 		only    = flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
 		wls     = flag.String("workloads", "", "comma-separated workload names; empty = all")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "print per-simulation progress")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of aligned tables")
+		timeout = flag.Duration("timeout", 0, "abort the suite after this duration (0 = none)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Instrs: *instrs}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := experiments.Options{Instrs: *instrs, Workers: *workers}
 	if *wls != "" {
 		for _, name := range strings.Split(*wls, ",") {
 			w, ok := workloads.ByName(strings.TrimSpace(name))
@@ -42,52 +60,57 @@ func main() {
 		}
 	}
 	if *verbose {
-		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+		opts.Progress = func(ev engine.Event) {
+			if ev.Kind == engine.EventJobStarted {
+				return // one line per completed point is enough
+			}
+			fmt.Fprintln(os.Stderr, "  "+ev.String())
+		}
 	}
 	r := experiments.NewRunner(opts)
 
-	type exp struct {
-		id  string
-		run func(*experiments.Runner) *stats.Table
-	}
-	suite := []exp{
-		{"E1", experiments.E1Characterization},
-		{"E2", experiments.E2SpeedupSmallCache},
-		{"E3", experiments.E3SpeedupLargeCache},
-		{"E4", experiments.E4BusUtilization},
-		{"E5", experiments.E5CacheProbeFiltering},
-		{"E6", experiments.E6FTQSweep},
-		{"E7", experiments.E7PrefetchBufferSweep},
-		{"E8", experiments.E8LatencySensitivity},
-		{"E9", experiments.E9CoverageAccuracy},
-		{"E10", experiments.E10FTBSweep},
-		{"E11", experiments.E11Ablation},
-		{"E12", experiments.E12WrongPathPIQ},
-		{"E13", experiments.E13TagPortSweep},
-		{"E14", experiments.E14FetchWidthSweep},
-		{"E15", experiments.E15StreamGeometry},
-		{"E16", experiments.E16PerfectBound},
-	}
-	selected := map[string]bool{}
+	suite := experiments.ExtendedSuite()
 	if *only != "" {
+		selected := map[string]bool{}
 		for _, id := range strings.Split(*only, ",") {
 			selected[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
+		var keep []experiments.Experiment
+		for _, e := range suite {
+			if selected[e.ID] {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) == 0 {
+			fmt.Fprintf(os.Stderr, "fdipbench: no experiments match -only %q\n", *only)
+			os.Exit(2)
+		}
+		suite = keep
 	}
 
 	start := time.Now()
-	for _, e := range suite {
-		if len(selected) > 0 && !selected[e.id] {
-			continue
-		}
-		t := e.run(r)
-		if *csv {
+	tables, err := experiments.RunExperiments(ctx, r, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdipbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		switch {
+		case *jsonOut:
+			if err := t.JSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "fdipbench: %v\n", err)
+				os.Exit(1)
+			}
+		case *csv:
 			fmt.Printf("# %s\n", t.Title)
 			t.CSV(os.Stdout)
-		} else {
+			fmt.Println()
+		default:
 			t.Render(os.Stdout)
+			fmt.Println()
 		}
-		fmt.Println()
 	}
-	fmt.Fprintf(os.Stderr, "fdipbench: %d simulations in %s\n", r.Simulations, time.Since(start).Round(time.Millisecond))
+	st := r.Engine().Stats()
+	fmt.Fprintf(os.Stderr, "fdipbench: %d simulations (%d memo hits) on %d workers in %s\n",
+		st.Simulations, st.CacheHits, r.Engine().Workers(), time.Since(start).Round(time.Millisecond))
 }

@@ -1,23 +1,22 @@
-// Command fdipsim runs a single front-end simulation and prints the
-// measurement report.
+// Command fdipsim runs a single front-end simulation through the concurrent
+// engine and prints the measurement report. Ctrl-C cancels a long run.
 //
 // Examples:
 //
 //	fdipsim -prefetcher fdp -cpf conservative -instrs 2000000
 //	fdipsim -funcs 2000 -l1i 32768 -prefetcher streambuf
 //	fdipsim -workload vortex -prefetcher fdp -compare
+//	fdipsim -workload gcc -prefetcher fdp -json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"fdip/internal/core"
-	"fdip/internal/oracle"
-	"fdip/internal/prefetch"
-	"fdip/internal/program"
-	"fdip/internal/workloads"
+	"fdip"
 )
 
 func main() {
@@ -34,74 +33,97 @@ func main() {
 		removeCPF  = flag.Bool("remove-cpf", false, "FDP remove-side filtering")
 		ftbSets    = flag.Int("ftb-sets", 512, "FTB sets")
 		compare    = flag.Bool("compare", false, "also run the no-prefetch baseline and print the speedup")
+		jsonOut    = flag.Bool("json", false, "emit the result (or comparison sweep) as JSON")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, w := range workloads.All() {
+		for _, w := range fdip.Workloads() {
 			fmt.Printf("%-10s %s\n", w.Name, w.Description)
 		}
 		return
 	}
 
-	var (
-		im  *program.Image
-		err error
-	)
-	if *workload != "" {
-		w, ok := workloads.ByName(*workload)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "fdipsim: unknown workload %q (try -list)\n", *workload)
-			os.Exit(2)
-		}
-		im, err = program.Generate(w.Params)
-	} else {
-		p := program.DefaultParams()
-		p.Seed = *seed
-		p.NumFuncs = *funcs
-		im, err = program.Generate(p)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fdipsim: %v\n", err)
-		os.Exit(1)
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	cfg := core.DefaultConfig()
+	cfg := fdip.DefaultConfig()
 	cfg.MaxInstrs = *instrs
 	cfg.L1ISizeBytes = *l1iBytes
 	cfg.FTQEntries = *ftqEntries
 	cfg.FTB.Sets = *ftbSets
-	cfg.Prefetch.Kind = core.PrefetcherKind(*pfKind)
+	cfg.Prefetch.Kind = fdip.PrefetcherKind(*pfKind)
 	switch *cpf {
 	case "off":
 	case "conservative":
-		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+		cfg.Prefetch.FDP.CPF = fdip.CPFConservative
 	case "optimistic":
-		cfg.Prefetch.FDP.CPF = prefetch.CPFOptimistic
+		cfg.Prefetch.FDP.CPF = fdip.CPFOptimistic
 	default:
 		fmt.Fprintf(os.Stderr, "fdipsim: unknown cpf mode %q\n", *cpf)
 		os.Exit(2)
 	}
 	cfg.Prefetch.FDP.RemoveCPF = *removeCPF
 
-	run := func(c core.Config) core.Result {
-		p, err := core.New(c, im, oracle.NewWalker(im, *seed+1000))
+	job := fdip.Job{Config: cfg}
+	if *workload != "" {
+		if _, ok := fdip.WorkloadByName(*workload); !ok {
+			fmt.Fprintf(os.Stderr, "fdipsim: unknown workload %q (try -list)\n", *workload)
+			os.Exit(2)
+		}
+		job.Workload = *workload
+		job.Name = *workload
+	} else {
+		params := fdip.DefaultProgramParams()
+		params.Seed = *seed
+		params.NumFuncs = *funcs
+		job.Params = &params
+		job.Name = fmt.Sprintf("custom(funcs=%d,seed=%d)", *funcs, *seed)
+	}
+	// The oracle (branch-outcome) seed tracks -seed for workload runs too,
+	// so sweeping -seed varies the dynamic behaviour of a fixed program.
+	job.Seed = *seed + 1000
+
+	eng := fdip.NewEngine()
+	jobs := []fdip.Job{job}
+	if *compare {
+		base := job
+		base.Name = job.Name + "-baseline"
+		baseCfg := cfg
+		baseCfg.Prefetch.Kind = fdip.PrefetchNone
+		base.Config = baseCfg
+		jobs = append(jobs, base)
+	}
+	outs, err := eng.Sweep(ctx, jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdipsim: %v\n", err)
+		os.Exit(1)
+	}
+	for _, out := range outs {
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "fdipsim: %s: %v\n", out.Job.Name, out.Err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		var err error
+		if *compare {
+			err = fdip.WriteOutcomesJSON(os.Stdout, outs)
+		} else {
+			err = fdip.WriteResultJSON(os.Stdout, outs[0].Result)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fdipsim: %v\n", err)
 			os.Exit(1)
 		}
-		return p.Run()
+		return
 	}
 
-	fmt.Printf("program: %d funcs, %d KB code, entry %#x\n",
-		len(im.Funcs), im.Size()/1024, im.Entry)
-	res := run(cfg)
+	res := outs[0].Result
 	fmt.Println(res)
-
 	if *compare {
-		base := cfg
-		base.Prefetch.Kind = core.PrefetchNone
-		baseRes := run(base)
+		baseRes := outs[1].Result
 		fmt.Printf("baseline IPC       %.3f\n", baseRes.IPC)
 		fmt.Printf("speedup            %+.2f%%\n", res.SpeedupPctOver(baseRes))
 	}

@@ -1,12 +1,14 @@
 // Filtering: a close-up of cache-probe filtering, the paper's mechanism for
 // keeping useless prefetches off the bus.
 //
-// The example runs one instruction-bound workload under every filtering
-// policy and shows where candidate prefetches go: issued, filtered by an
-// enqueue-time probe, removed by a late probe, or dropped as duplicates.
+// The example sweeps one instruction-bound workload under every filtering
+// policy in a single parallel batch and shows where candidate prefetches go:
+// issued, filtered by an enqueue-time probe, removed by a late probe, or
+// dropped as duplicates.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,33 +23,45 @@ func main() {
 
 	base := fdip.DefaultConfig()
 	base.MaxInstrs = 500_000
-	baseRes, err := fdip.RunWorkload(base, w)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("workload %s: baseline IPC %.3f, %.1f would-be misses per kinstr\n\n",
-		w.Name, baseRes.IPC, baseRes.MissPKI)
 
 	type variant struct {
 		name   string
 		cpf    fdip.CPFMode
 		remove bool
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{"no filtering", fdip.CPFOff, false},
 		{"enqueue, conservative", fdip.CPFConservative, false},
 		{"enqueue, optimistic", fdip.CPFOptimistic, false},
 		{"remove only", fdip.CPFOff, true},
 		{"conservative + remove", fdip.CPFConservative, true},
-	} {
+	}
+
+	// Job 0 is the no-prefetch baseline; the rest are FDP variants.
+	jobs := []fdip.Job{{Name: "baseline", Workload: w.Name, Config: base}}
+	for _, v := range variants {
 		cfg := base
 		cfg.Prefetch.Kind = fdip.PrefetchFDP
 		cfg.Prefetch.FDP.CPF = v.cpf
 		cfg.Prefetch.FDP.RemoveCPF = v.remove
-		res, err := fdip.RunWorkload(cfg, w)
-		if err != nil {
-			log.Fatal(err)
+		jobs = append(jobs, fdip.Job{Name: v.name, Workload: w.Name, Config: cfg})
+	}
+
+	outs, err := fdip.NewEngine().Sweep(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, out := range outs {
+		if out.Err != nil {
+			log.Fatalf("%s: %v", out.Job.Name, out.Err)
 		}
+	}
+
+	baseRes := outs[0].Result
+	fmt.Printf("workload %s: baseline IPC %.3f, %.1f would-be misses per kinstr\n\n",
+		w.Name, baseRes.IPC, baseRes.MissPKI)
+	for i, v := range variants {
+		res := outs[i+1].Result
 		fmt.Printf("%-24s speedup %+6.1f%%  bus %5.1f%%  useful %5.1f%%  issued %d\n",
 			v.name, res.SpeedupPctOver(baseRes), res.BusUtilPct, res.UsefulPct, res.PrefetchIssued)
 	}

@@ -1,8 +1,10 @@
-// Quickstart: generate a synthetic program, run the no-prefetch baseline and
-// fetch-directed prefetching on the same machine, and print the comparison.
+// Quickstart: build a concurrent engine, run the no-prefetch baseline and
+// fetch-directed prefetching over the same program in one two-job sweep, and
+// print the comparison.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,29 +17,34 @@ func main() {
 	params := fdip.DefaultProgramParams()
 	params.NumFuncs = 400
 	params.Seed = 42
-	im, err := fdip.GenerateProgram(params)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("program: %d functions, %d KB code\n\n", 400, im.Size()/1024)
 
 	// Baseline: decoupled front end, no prefetching.
 	base := fdip.DefaultConfig()
 	base.MaxInstrs = 1_000_000
-	baseRes, err := fdip.Run(base, im, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	// Fetch-directed prefetching with conservative cache-probe filtering —
 	// the paper's headline configuration.
 	cfg := base
 	cfg.Prefetch.Kind = fdip.PrefetchFDP
 	cfg.Prefetch.FDP.CPF = fdip.CPFConservative
-	fdpRes, err := fdip.Run(cfg, im, 7)
+
+	// One engine, one sweep: both machines over the same program and
+	// branch-outcome seed, simulated in parallel. Outcomes come back in
+	// job order regardless of which finishes first.
+	eng := fdip.NewEngine()
+	outs, err := eng.Sweep(context.Background(), []fdip.Job{
+		{Name: "baseline", Config: base, Params: &params, Seed: 7},
+		{Name: "fdp+cpf", Config: cfg, Params: &params, Seed: 7},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, out := range outs {
+		if out.Err != nil {
+			log.Fatalf("%s: %v", out.Job.Name, out.Err)
+		}
+	}
+	baseRes, fdpRes := outs[0].Result, outs[1].Result
 
 	fmt.Println("--- no prefetch ---")
 	fmt.Println(baseRes)

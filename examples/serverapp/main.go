@@ -1,12 +1,12 @@
-// Serverapp: the scenario that motivates front-end prefetching — a
-// server-style workload whose instruction working set dwarfs the L1-I.
-//
-// The example sweeps the benchmark suite, comparing all prefetch schemes on
-// the large-footprint ("server-class") workloads, and prints the per-scheme
-// speedups and bandwidth costs side by side.
+// Serverapp: the scenario that motivates front-end prefetching — server-
+// style workloads whose instruction working sets dwarf the L1-I — run as one
+// parallel batch: the full cross product of large-footprint workloads x
+// prefetch schemes goes to Engine.Sweep in a single call, with typed
+// progress events streaming per-point completions to stderr.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,41 +18,65 @@ import (
 func main() {
 	const instrs = 500_000
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "bench\tmiss/KI\tscheme\tIPC\tspeedup\tbus%\tuseful%")
+	schemes := []struct {
+		name string
+		kind fdip.PrefetcherKind
+		cpf  fdip.CPFMode
+	}{
+		{"none", fdip.PrefetchNone, fdip.CPFOff},
+		{"nextline", fdip.PrefetchNextLine, fdip.CPFOff},
+		{"streambuf", fdip.PrefetchStream, fdip.CPFOff},
+		{"fdp", fdip.PrefetchFDP, fdip.CPFOff},
+		{"fdp+cpf", fdip.PrefetchFDP, fdip.CPFConservative},
+	}
 
+	// Build the whole cross product as one job list.
+	var jobs []fdip.Job
+	var server []fdip.Workload
 	for _, w := range fdip.Workloads() {
 		if !w.LargeFootprint {
 			continue
 		}
-		base := fdip.DefaultConfig()
-		base.MaxInstrs = instrs
-		baseRes, err := fdip.RunWorkload(base, w)
-		if err != nil {
-			log.Fatal(err)
+		server = append(server, w)
+		for _, s := range schemes {
+			cfg := fdip.DefaultConfig()
+			cfg.MaxInstrs = instrs
+			cfg.Prefetch.Kind = s.kind
+			cfg.Prefetch.FDP.CPF = s.cpf
+			jobs = append(jobs, fdip.Job{
+				Name:     w.Name + "/" + s.name,
+				Workload: w.Name,
+				Config:   cfg,
+			})
 		}
+	}
+
+	eng := fdip.NewEngine(fdip.WithProgress(func(ev fdip.Event) {
+		if ev.Kind == fdip.EventJobDone {
+			fmt.Fprintln(os.Stderr, "  "+ev.String())
+		}
+	}))
+	outs, err := eng.Sweep(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tmiss/KI\tscheme\tIPC\tspeedup\tbus%\tuseful%")
+	for i, w := range server {
+		row := outs[i*len(schemes) : (i+1)*len(schemes)]
+		for _, out := range row {
+			if out.Err != nil {
+				log.Fatalf("%s: %v", out.Job.Name, out.Err)
+			}
+		}
+		baseRes := row[0].Result
 		fmt.Fprintf(tw, "%s\t%.1f\tnone\t%.3f\t—\t%.1f\t—\n",
 			w.Name, baseRes.MissPKI, baseRes.IPC, baseRes.BusUtilPct)
-
-		for _, scheme := range []struct {
-			name string
-			kind fdip.PrefetcherKind
-			cpf  fdip.CPFMode
-		}{
-			{"nextline", fdip.PrefetchNextLine, fdip.CPFOff},
-			{"streambuf", fdip.PrefetchStream, fdip.CPFOff},
-			{"fdp", fdip.PrefetchFDP, fdip.CPFOff},
-			{"fdp+cpf", fdip.PrefetchFDP, fdip.CPFConservative},
-		} {
-			cfg := base
-			cfg.Prefetch.Kind = scheme.kind
-			cfg.Prefetch.FDP.CPF = scheme.cpf
-			res, err := fdip.RunWorkload(cfg, w)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for j, s := range schemes[1:] {
+			res := row[j+1].Result
 			fmt.Fprintf(tw, "\t\t%s\t%.3f\t%+.1f%%\t%.1f\t%.1f\n",
-				scheme.name, res.IPC, res.SpeedupPctOver(baseRes), res.BusUtilPct, res.UsefulPct)
+				s.name, res.IPC, res.SpeedupPctOver(baseRes), res.BusUtilPct, res.UsefulPct)
 		}
 	}
 	tw.Flush()

@@ -1,10 +1,12 @@
 // Tracereplay: write a compact binary trace of a workload, then re-simulate
 // from the trace and confirm the replayed machine behaves identically to the
-// live one — the workflow for sharing reproducible inputs.
+// live one (run through the engine) — the workflow for sharing reproducible
+// inputs.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -40,12 +42,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Run the same machine live for comparison.
-	im, err := fdip.GenerateProgram(params)
-	if err != nil {
-		log.Fatal(err)
-	}
-	live, err := fdip.Run(cfg, im, seed)
+	// 3. Run the same machine live (through the engine) for comparison.
+	live, err := fdip.NewEngine().Run(context.Background(),
+		fdip.Job{Name: "live", Config: cfg, Params: &params, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,22 +7,44 @@
 // program images, with fetch-directed prefetching, cache-probe filtering,
 // and the paper's baselines (tagged next-line prefetching, stream buffers).
 //
+// The primary surface is the concurrent Engine: a context-aware, worker-
+// pooled, memoising executor for single runs and cross-product sweeps of
+// configurations x workloads. A Job names one simulation point; Run executes
+// one, Sweep executes a batch in parallel with results in job order.
+// Identical jobs simulate once (the engine coalesces duplicates), and
+// results are bit-identical whatever the worker count, so sweeps scale
+// across cores without changing the science.
+//
 // Quick start:
 //
-//	im, _ := fdip.GenerateProgram(fdip.DefaultProgramParams())
+//	eng := fdip.NewEngine(fdip.WithWorkers(8), fdip.WithInstrBudget(1_000_000))
 //	cfg := fdip.DefaultConfig()
 //	cfg.Prefetch.Kind = fdip.PrefetchFDP
-//	res, _ := fdip.Run(cfg, im, 1)
+//	res, _ := eng.Run(context.Background(), fdip.Job{Workload: "gcc", Config: cfg})
 //	fmt.Println(res)
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
-// evaluation.
+// A sweep compares machines across the calibrated suite:
+//
+//	var jobs []fdip.Job
+//	for _, w := range fdip.Workloads() {
+//		jobs = append(jobs,
+//			fdip.Job{Workload: w.Name, Config: fdip.DefaultConfig()},
+//			fdip.Job{Workload: w.Name, Config: cfg})
+//	}
+//	outs, _ := eng.Sweep(ctx, jobs)
+//	fdip.WriteOutcomesJSON(os.Stdout, outs) // machine-readable export
+//
+// Progress streams as typed events (WithProgress), runs honour context
+// cancellation and deadlines, and failures return as errors. See DESIGN.md
+// for the architecture and EXPERIMENTS.md for the reproduced evaluation.
 package fdip
 
 import (
+	"context"
 	"io"
 
 	"fdip/internal/core"
+	"fdip/internal/engine"
 	"fdip/internal/oracle"
 	"fdip/internal/prefetch"
 	"fdip/internal/program"
@@ -52,6 +74,67 @@ type (
 	// Workload is a named, calibrated benchmark.
 	Workload = workloads.Workload
 )
+
+// Engine API types. The Engine is the package's concurrent executor; see the
+// package comment for the model.
+type (
+	// Engine runs jobs on a bounded worker pool with memoisation.
+	Engine = engine.Engine
+	// Job names one simulation point: a Config over a named Workload or
+	// explicit ProgramParams, with an oracle seed.
+	Job = engine.Job
+	// RunOutcome pairs a job with its result (or error) inside a sweep.
+	RunOutcome = engine.RunOutcome
+	// EngineStats snapshots engine counters (simulations, cache hits).
+	EngineStats = engine.Stats
+	// Event is a typed progress notification.
+	Event = engine.Event
+	// EventKind classifies progress events.
+	EventKind = engine.EventKind
+	// Option configures NewEngine.
+	Option = engine.Option
+	// ImageCache memoises program generation; share one across engines
+	// with WithImageCache.
+	ImageCache = engine.ImageCache
+)
+
+// Progress event kinds.
+const (
+	EventJobStarted = engine.EventJobStarted
+	EventJobDone    = engine.EventJobDone
+	EventJobCached  = engine.EventJobCached
+	EventJobFailed  = engine.EventJobFailed
+)
+
+// NewEngine builds a concurrent simulation engine. Defaults: GOMAXPROCS
+// workers, per-job instruction budgets, no progress sink, a private image
+// cache.
+func NewEngine(opts ...Option) *Engine { return engine.New(opts...) }
+
+// WithWorkers bounds concurrent simulations. n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option { return engine.WithWorkers(n) }
+
+// WithInstrBudget overrides every job's committed-instruction budget
+// (Config.MaxInstrs). Zero leaves job configs untouched.
+func WithInstrBudget(n uint64) Option { return engine.WithInstrBudget(n) }
+
+// WithProgress streams typed progress events to fn; delivery is serialised.
+func WithProgress(fn func(Event)) Option { return engine.WithProgress(fn) }
+
+// WithImageCache shares a program-image cache between engines.
+func WithImageCache(c *ImageCache) Option { return engine.WithImageCache(c) }
+
+// NewImageCache builds an empty shareable image cache.
+func NewImageCache() *ImageCache { return engine.NewImageCache() }
+
+// WriteResultJSON writes one Result as indented JSON.
+func WriteResultJSON(w io.Writer, res Result) error { return engine.WriteResultJSON(w, res) }
+
+// WriteOutcomesJSON writes sweep outcomes as an indented JSON array — the
+// machine-readable form of a whole sweep for downstream tooling.
+func WriteOutcomesJSON(w io.Writer, outs []RunOutcome) error {
+	return engine.WriteOutcomesJSON(w, outs)
+}
 
 // Prefetch scheme names.
 const (
@@ -87,25 +170,20 @@ func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name
 
 // Run simulates cfg over the image with branch outcomes drawn from seed,
 // returning the final measurements.
+//
+// Deprecated: use Engine.Run (or Engine.RunImage for a pre-generated image),
+// which adds cancellation, memoisation, and parallel batching.
 func Run(cfg Config, im *Image, seed int64) (Result, error) {
-	p, err := core.New(cfg, im, oracle.NewWalker(im, seed))
-	if err != nil {
-		return Result{}, err
-	}
-	return p.Run(), nil
+	return NewEngine(WithWorkers(1)).RunImage(context.Background(), cfg, im, seed)
 }
 
 // RunWorkload simulates cfg over a named workload.
+//
+// Deprecated: use Engine.Run with a Job naming the workload.
 func RunWorkload(cfg Config, w Workload) (Result, error) {
-	im, err := program.Generate(w.Params)
-	if err != nil {
-		return Result{}, err
-	}
-	p, err := core.New(cfg, im, oracle.NewWalker(im, w.Seed))
-	if err != nil {
-		return Result{}, err
-	}
-	return p.Run(), nil
+	params := w.Params
+	return NewEngine(WithWorkers(1)).Run(context.Background(),
+		Job{Name: w.Name, Config: cfg, Params: &params, Seed: w.Seed})
 }
 
 // Simulator exposes cycle-level control for callers that want to observe the
@@ -141,6 +219,9 @@ func (s *Simulator) Committed() uint64 { return s.p.Committed() }
 
 // Run finishes the simulation per the config's limits and returns results.
 func (s *Simulator) Run() Result { return s.p.Run() }
+
+// RunContext is Run with cooperative cancellation.
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) { return s.p.RunContext(ctx) }
 
 // Snapshot returns measurements at the current cycle without stopping.
 func (s *Simulator) Snapshot() Result { return s.p.Finalize() }
@@ -183,4 +264,4 @@ func ReplayTrace(r io.Reader, cfg Config) (Result, error) {
 }
 
 // Version identifies the library release.
-const Version = "1.0.0"
+const Version = "2.0.0"

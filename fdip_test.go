@@ -2,8 +2,11 @@ package fdip
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func smallImage(t testing.TB) *Image {
@@ -153,6 +156,84 @@ func TestConfigErrorsSurface(t *testing.T) {
 	}
 	if _, err := NewSimulator(cfg, im, 1); err == nil {
 		t.Error("bad prefetcher accepted by NewSimulator")
+	}
+}
+
+func TestEngineSweepFacade(t *testing.T) {
+	fdpCfg := DefaultConfig()
+	fdpCfg.Prefetch.Kind = PrefetchFDP
+	jobs := []Job{
+		{Workload: "gcc", Config: DefaultConfig()},
+		{Workload: "gcc", Config: fdpCfg},
+	}
+	var events int
+	eng := NewEngine(WithWorkers(2), WithInstrBudget(30_000), WithProgress(func(Event) { events++ }))
+	outs, err := eng.Sweep(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	for i, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("job %d: %v", i, out.Err)
+		}
+		if out.Result.Committed < 30_000 {
+			t.Errorf("job %d committed %d", i, out.Result.Committed)
+		}
+	}
+	if !strings.HasPrefix(outs[1].Result.Prefetcher, "fdp") {
+		t.Errorf("job 1 prefetcher = %q", outs[1].Result.Prefetcher)
+	}
+	if events == 0 {
+		t.Error("no progress events streamed")
+	}
+	if st := eng.Stats(); st.Simulations != 2 {
+		t.Errorf("Simulations = %d, want 2", st.Simulations)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteOutcomesJSON(&buf, outs); err != nil {
+		t.Fatalf("WriteOutcomesJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), "\"IPC\"") {
+		t.Error("outcome JSON missing IPC")
+	}
+}
+
+func TestEngineHonorsCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 1 << 40
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := NewEngine(WithWorkers(1)).Run(ctx, Job{Workload: "gcc", Config: cfg})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %s", elapsed)
+	}
+}
+
+func TestDeprecatedWrappersMatchEngine(t *testing.T) {
+	im := smallImage(t)
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 30_000
+	old, err := Run(cfg, im, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultProgramParams()
+	p.NumFuncs = 80
+	p.Seed = 21 // same params as smallImage
+	viaEngine, err := NewEngine().Run(context.Background(), Job{Params: &p, Seed: 3, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != viaEngine {
+		t.Error("deprecated Run and Engine.Run diverge for the same machine and seed")
 	}
 }
 

@@ -1,0 +1,3 @@
+module fdip
+
+go 1.24

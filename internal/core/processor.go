@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fdip/internal/backend"
@@ -186,29 +187,53 @@ func (p *Processor) Step() {
 }
 
 // Run executes until MaxInstrs commit, MaxCycles elapse, or a trace stream
-// drains. It returns the final measurements.
+// drains. It returns the final measurements. A simulator deadlock panics;
+// callers that want an error (and cancellation) should use RunContext.
 func (p *Processor) Run() Result {
+	res, err := p.RunContext(context.Background())
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the loop polls ctx every
+// 1024 cycles and returns ctx.Err() on cancellation or deadline expiry. A
+// simulator deadlock (no commit progress) is returned as an error instead of
+// panicking.
+func (p *Processor) RunContext(ctx context.Context) (Result, error) {
+	done := ctx.Done()
 	for p.be.Committed < p.cfg.MaxInstrs && p.now < p.cfg.MaxCycles {
 		if p.fe.Exhausted() && p.be.Drained() {
 			break
 		}
 		p.Step()
-		p.checkProgress()
+		if err := p.progressErr(); err != nil {
+			return Result{}, err
+		}
+		if done != nil && p.now&1023 == 0 {
+			select {
+			case <-done:
+				return Result{}, ctx.Err()
+			default:
+			}
+		}
 	}
-	return p.Finalize()
+	return p.Finalize(), nil
 }
 
-// checkProgress panics if the machine stops committing — a simulator
-// deadlock must fail loudly, not burn the cycle budget.
-func (p *Processor) checkProgress() {
+// progressErr reports a simulator deadlock — the machine burning cycles
+// without committing — as an error.
+func (p *Processor) progressErr() error {
 	const window = 2_000_000
 	if p.now-p.lastProgressCycle < window {
-		return
+		return nil
 	}
 	if p.be.Committed == p.lastProgressCount {
-		panic(fmt.Sprintf("core: no commit progress between cycles %d and %d (committed=%d, ftq=%d, rob=%d)",
-			p.lastProgressCycle, p.now, p.be.Committed, p.q.Len(), p.be.ROBOccupancy()))
+		return fmt.Errorf("core: no commit progress between cycles %d and %d (committed=%d, ftq=%d, rob=%d)",
+			p.lastProgressCycle, p.now, p.be.Committed, p.q.Len(), p.be.ROBOccupancy())
 	}
 	p.lastProgressCycle = p.now
 	p.lastProgressCount = p.be.Committed
+	return nil
 }

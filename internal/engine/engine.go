@@ -1,0 +1,428 @@
+// Package engine is the concurrent simulation engine behind the public fdip
+// API: a worker-pooled, memoising, context-aware executor for batches of
+// simulation jobs.
+//
+// An Engine owns a bounded worker pool (a semaphore over actual
+// simulations), a singleflight image cache (each distinct program.Params
+// generates once, even under concurrent demand), and a singleflight result
+// cache keyed on (program params, validated config, oracle seed). Identical
+// jobs therefore simulate exactly once regardless of how many goroutines —
+// or how many entries of one Sweep — request them, and every simulation is
+// deterministic in its key, so results are bit-identical whether the pool
+// runs one worker or many.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fdip/internal/core"
+	"fdip/internal/oracle"
+	"fdip/internal/program"
+	"fdip/internal/workloads"
+)
+
+// Job names one simulation point: a machine configuration over a program
+// (a named workload or explicit generation params) with an oracle seed.
+// Exactly one of Workload and Params must be set.
+type Job struct {
+	// Name labels the job in outcomes and progress events. Defaulted to
+	// the workload name (or a params digest) when empty.
+	Name string `json:"name,omitempty"`
+	// Config describes the simulated machine. It is validated (and its
+	// zero fields defaulted) by the engine before running.
+	Config core.Config `json:"config"`
+	// Workload names a calibrated benchmark from the workloads package.
+	Workload string `json:"workload,omitempty"`
+	// Params generates a custom program instead of a named workload.
+	Params *program.Params `json:"params,omitempty"`
+	// Seed drives the oracle walker (branch outcomes). Zero means the
+	// workload's calibrated seed, or 1 for Params jobs.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// RunOutcome pairs a job with its result (or error) inside a sweep.
+type RunOutcome struct {
+	// Job is the job as resolved by the engine (name and seed filled in).
+	Job Job `json:"job"`
+	// Result holds the measurements; zero-valued when Err is non-nil.
+	Result core.Result `json:"result"`
+	// Err is the job's failure, nil on success. (JSON encodes its
+	// message; see export.go.)
+	Err error `json:"-"`
+	// Cached reports that the result was served from the memo cache (or
+	// joined an in-flight identical simulation) rather than simulated anew.
+	Cached bool `json:"cached"`
+	// Elapsed is wall time spent obtaining the result.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Simulations counts actual (non-memoised) completed simulations.
+	Simulations int `json:"simulations"`
+	// CacheHits counts runs served from the result cache or merged into
+	// an in-flight identical simulation.
+	CacheHits int `json:"cache_hits"`
+	// Failures counts runs that returned an error.
+	Failures int `json:"failures"`
+}
+
+// Engine executes simulation jobs on a bounded worker pool with memoisation.
+// All methods are safe for concurrent use.
+type Engine struct {
+	workers  int
+	instrs   uint64
+	progress func(Event)
+	images   *ImageCache
+
+	sem chan struct{}
+
+	mu      sync.Mutex
+	results map[resultKey]*resultCall
+	stats   Stats
+
+	emitMu sync.Mutex
+}
+
+// resultKey identifies a memoisable simulation: the generated program, the
+// validated machine configuration, and the oracle seed fully determine the
+// Result.
+type resultKey struct {
+	params program.Params
+	cfg    core.Config
+	seed   int64
+}
+
+// resultCall is a singleflight slot: the leader simulates and closes done;
+// followers wait on done (or their own context).
+type resultCall struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds concurrent simulations. n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithInstrBudget overrides every job's committed-instruction budget
+// (Config.MaxInstrs), re-deriving the cycle cap. Zero leaves job configs
+// untouched.
+func WithInstrBudget(n uint64) Option {
+	return func(e *Engine) { e.instrs = n }
+}
+
+// WithProgress streams typed progress events to fn. The engine serialises
+// calls, so fn needs no locking of its own. A nil fn disables progress.
+func WithProgress(fn func(Event)) Option {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithImageCache shares a (possibly pre-warmed) image cache between engines.
+// A nil cache leaves the engine's private cache in place.
+func WithImageCache(c *ImageCache) Option {
+	return func(e *Engine) {
+		if c != nil {
+			e.images = c
+		}
+	}
+}
+
+// New builds an engine. Defaults: GOMAXPROCS workers, per-job instruction
+// budgets, no progress sink, a private image cache.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		images:  NewImageCache(),
+		results: make(map[resultKey]*resultCall),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	e.sem = make(chan struct{}, e.workers)
+	return e
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Images returns the engine's image cache (for sharing or pre-warming).
+func (e *Engine) Images() *ImageCache { return e.images }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run executes one job, honouring ctx, and returns its measurements.
+// Identical jobs (same program, config, and seed) are memoised.
+func (e *Engine) Run(ctx context.Context, job Job) (core.Result, error) {
+	out := e.runJob(ctx, job)
+	return out.Result, out.Err
+}
+
+// Sweep executes every job, in parallel up to the worker bound, and returns
+// one outcome per job in job order. Per-job failures land in the outcome's
+// Err; Sweep itself only returns an error when ctx is cancelled (in which
+// case unfinished jobs carry ctx's error). Results are independent of the
+// worker count: each job is deterministic in its key and duplicates are
+// coalesced by the memo cache.
+func (e *Engine) Sweep(ctx context.Context, jobs []Job) ([]RunOutcome, error) {
+	outs := make([]RunOutcome, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = e.runJob(ctx, jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return outs, ctx.Err()
+}
+
+// RunImage simulates cfg over an already-generated image. It takes a worker
+// slot and honours ctx but is not memoised (an arbitrary image has no cache
+// key).
+func (e *Engine) RunImage(ctx context.Context, cfg core.Config, im *program.Image, seed int64) (core.Result, error) {
+	cfg = e.normalise(cfg)
+	if err := cfg.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	if err := e.acquire(ctx); err != nil {
+		return core.Result{}, err
+	}
+	defer e.release()
+	p, err := core.New(cfg, im, oracle.NewWalker(im, seed))
+	if err != nil {
+		return core.Result{}, err
+	}
+	return p.RunContext(ctx)
+}
+
+// normalise applies the engine-wide instruction budget.
+func (e *Engine) normalise(cfg core.Config) core.Config {
+	if e.instrs != 0 {
+		cfg.MaxInstrs = e.instrs
+		cfg.MaxCycles = 0 // re-derive from MaxInstrs
+	}
+	return cfg
+}
+
+// resolve fills in a job's program params, seed, and display name.
+func resolve(job Job) (Job, program.Params, error) {
+	var params program.Params
+	switch {
+	case job.Workload != "" && job.Params != nil:
+		return job, params, fmt.Errorf("engine: job %q sets both Workload and Params", job.Name)
+	case job.Workload != "":
+		w, ok := workloads.ByName(job.Workload)
+		if !ok {
+			return job, params, fmt.Errorf("engine: unknown workload %q", job.Workload)
+		}
+		params = w.Params
+		if job.Seed == 0 {
+			job.Seed = w.Seed
+		}
+		if job.Name == "" {
+			job.Name = w.Name
+		}
+	case job.Params != nil:
+		params = *job.Params
+		if job.Seed == 0 {
+			job.Seed = 1
+		}
+		if job.Name == "" {
+			job.Name = fmt.Sprintf("params(funcs=%d,seed=%d)", params.NumFuncs, params.Seed)
+		}
+	default:
+		return job, params, fmt.Errorf("engine: job %q names no program (set Workload or Params)", job.Name)
+	}
+	return job, params, nil
+}
+
+// runJob resolves, memoises, and executes one job.
+func (e *Engine) runJob(ctx context.Context, job Job) RunOutcome {
+	start := time.Now()
+	fail := func(err error) RunOutcome {
+		e.mu.Lock()
+		e.stats.Failures++
+		e.mu.Unlock()
+		out := RunOutcome{Job: job, Err: err, Elapsed: time.Since(start)}
+		e.emit(Event{Kind: EventJobFailed, Job: job, Err: err, Elapsed: out.Elapsed})
+		return out
+	}
+
+	job, params, err := resolve(job)
+	if err != nil {
+		return fail(err)
+	}
+	cfg := e.normalise(job.Config)
+	if err := cfg.Validate(); err != nil {
+		return fail(err)
+	}
+	key := resultKey{params: params, cfg: cfg, seed: job.Seed}
+
+	for {
+		e.mu.Lock()
+		call, follower := e.results[key]
+		if !follower {
+			call = &resultCall{done: make(chan struct{})}
+			e.results[key] = call
+		}
+		e.mu.Unlock()
+
+		if follower {
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return fail(ctx.Err())
+			}
+			if call.err == nil {
+				e.mu.Lock()
+				e.stats.CacheHits++
+				e.mu.Unlock()
+				out := RunOutcome{Job: job, Result: call.res, Cached: true, Elapsed: time.Since(start)}
+				e.emit(Event{Kind: EventJobCached, Job: job, Result: &out.Result, Elapsed: out.Elapsed})
+				return out
+			}
+			// The leader failed on its own cancelled/expired context;
+			// this caller's context is still live, so retry (the
+			// failed entry has been removed, making us the new
+			// leader unless someone else got there first).
+			if isCtxErr(call.err) && ctx.Err() == nil {
+				continue
+			}
+			return fail(call.err)
+		}
+
+		call.res, call.err = e.simulate(ctx, job, cfg, params)
+		e.mu.Lock()
+		if call.err != nil {
+			// Do not cache failures (a cancellation must not poison
+			// the key for future runs with a live context).
+			delete(e.results, key)
+		} else {
+			e.stats.Simulations++
+		}
+		e.mu.Unlock()
+		close(call.done)
+
+		if call.err != nil {
+			return fail(call.err)
+		}
+		out := RunOutcome{Job: job, Result: call.res, Elapsed: time.Since(start)}
+		e.emit(Event{Kind: EventJobDone, Job: job, Result: &out.Result, Elapsed: out.Elapsed})
+		return out
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// simulate builds the machine and runs it under a worker slot.
+func (e *Engine) simulate(ctx context.Context, job Job, cfg core.Config, params program.Params) (core.Result, error) {
+	if err := e.acquire(ctx); err != nil {
+		return core.Result{}, err
+	}
+	defer e.release()
+	im, err := e.images.Get(ctx, params)
+	if err != nil {
+		return core.Result{}, err
+	}
+	e.emit(Event{Kind: EventJobStarted, Job: job})
+	p, err := core.New(cfg, im, oracle.NewWalker(im, job.Seed))
+	if err != nil {
+		return core.Result{}, err
+	}
+	return p.RunContext(ctx)
+}
+
+// acquire takes a worker slot, abandoning the wait on cancellation.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }
+
+// emit serialises progress-event delivery.
+func (e *Engine) emit(ev Event) {
+	if e.progress == nil {
+		return
+	}
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	e.progress(ev)
+}
+
+// ImageCache memoises program generation: each distinct params vector
+// generates exactly once, even under concurrent demand (followers of an
+// in-flight generation wait rather than duplicating the work). Safe for
+// concurrent use and shareable between engines via WithImageCache.
+type ImageCache struct {
+	mu      sync.Mutex
+	entries map[program.Params]*imageCall
+}
+
+type imageCall struct {
+	done chan struct{}
+	im   *program.Image
+	err  error
+}
+
+// NewImageCache builds an empty cache.
+func NewImageCache() *ImageCache {
+	return &ImageCache{entries: make(map[program.Params]*imageCall)}
+}
+
+// Get returns the image for params, generating it on first use.
+func (c *ImageCache) Get(ctx context.Context, params program.Params) (*program.Image, error) {
+	c.mu.Lock()
+	if call, ok := c.entries[params]; ok {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.im, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &imageCall{done: make(chan struct{})}
+	c.entries[params] = call
+	c.mu.Unlock()
+
+	call.im, call.err = program.Generate(params)
+	if call.err != nil {
+		c.mu.Lock()
+		delete(c.entries, params)
+		c.mu.Unlock()
+	}
+	close(call.done)
+	return call.im, call.err
+}
+
+// Len reports how many images the cache holds or is generating.
+func (c *ImageCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"fdip/internal/core"
+)
+
+// EventKind classifies a progress event.
+type EventKind uint8
+
+const (
+	// EventJobStarted fires when a job's simulation actually begins
+	// (after any queueing for a worker slot; memoised jobs never start).
+	EventJobStarted EventKind = iota + 1
+	// EventJobDone fires when a simulation completes successfully.
+	EventJobDone
+	// EventJobCached fires when a job is served from the memo cache or
+	// merged into an identical in-flight simulation.
+	EventJobCached
+	// EventJobFailed fires when a job returns an error (including
+	// cancellation).
+	EventJobFailed
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventJobStarted:
+		return "started"
+	case EventJobDone:
+		return "done"
+	case EventJobCached:
+		return "cached"
+	case EventJobFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one typed progress notification. The engine serialises delivery,
+// so sinks need no locking; Result points at the outcome's copy and must not
+// be retained past the callback if the sink mutates it.
+type Event struct {
+	Kind EventKind
+	// Job is the resolved job the event concerns.
+	Job Job
+	// Result is set on EventJobDone and EventJobCached.
+	Result *core.Result
+	// Err is set on EventJobFailed.
+	Err error
+	// Elapsed is wall time since the job was submitted (zero on
+	// EventJobStarted).
+	Elapsed time.Duration
+}
+
+// String renders a one-line summary suitable for log-style progress output.
+func (ev Event) String() string {
+	switch ev.Kind {
+	case EventJobStarted:
+		return fmt.Sprintf("%-10s %s", ev.Job.Name, ev.Kind)
+	case EventJobFailed:
+		return fmt.Sprintf("%-10s failed: %v", ev.Job.Name, ev.Err)
+	default:
+		return fmt.Sprintf("%-10s %-28s IPC %.3f (%s, %s)",
+			ev.Job.Name, ev.Result.Prefetcher, ev.Result.IPC, ev.Kind, ev.Elapsed.Round(time.Millisecond))
+	}
+}

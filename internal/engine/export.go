@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"fdip/internal/core"
+)
+
+// outcomeJSON is the wire form of RunOutcome: errors flatten to strings so
+// downstream tooling gets machine-readable failures.
+type outcomeJSON struct {
+	Job     Job         `json:"job"`
+	Result  core.Result `json:"result"`
+	Error   string      `json:"error,omitempty"`
+	Cached  bool        `json:"cached"`
+	Elapsed int64       `json:"elapsed_ns"`
+}
+
+// MarshalJSON encodes the outcome with its error (if any) as a string.
+func (o RunOutcome) MarshalJSON() ([]byte, error) {
+	j := outcomeJSON{Job: o.Job, Result: o.Result, Cached: o.Cached, Elapsed: int64(o.Elapsed)}
+	if o.Err != nil {
+		j.Error = o.Err.Error()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the wire form; a non-empty error string becomes a
+// jsonError so Err survives a round trip.
+func (o *RunOutcome) UnmarshalJSON(data []byte) error {
+	var j outcomeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*o = RunOutcome{Job: j.Job, Result: j.Result, Cached: j.Cached, Elapsed: time.Duration(j.Elapsed)}
+	if j.Error != "" {
+		o.Err = jsonError(j.Error)
+	}
+	return nil
+}
+
+type jsonError string
+
+func (e jsonError) Error() string { return string(e) }
+
+// WriteResultJSON writes one Result as indented JSON.
+func WriteResultJSON(w io.Writer, res core.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteOutcomesJSON writes sweep outcomes as an indented JSON array —
+// the machine-readable form of a whole sweep for downstream tooling.
+func WriteOutcomesJSON(w io.Writer, outs []RunOutcome) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(outs)
+}

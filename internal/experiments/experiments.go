@@ -3,15 +3,22 @@
 // ablations (E12..E16), each returning a text table with the same
 // rows/series the paper reports.
 //
-// A memoising Runner backs all experiments so that configurations shared
-// between experiments (e.g. the no-prefetch baseline) simulate once.
+// The suite runs on the concurrent simulation engine: every experiment
+// expands to a job grid (workloads x configurations) that is swept in
+// parallel up to the runner's worker bound, with results memoised so
+// configurations shared between experiments (e.g. the no-prefetch baseline)
+// simulate once. Entry points take a context and return errors; nothing in
+// this package panics.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"fdip/internal/core"
-	"fdip/internal/oracle"
+	"fdip/internal/engine"
 	"fdip/internal/prefetch"
 	"fdip/internal/program"
 	"fdip/internal/stats"
@@ -24,8 +31,11 @@ type Options struct {
 	Instrs uint64
 	// Workloads restricts the suite (nil = all eight benchmarks).
 	Workloads []workloads.Workload
-	// Progress, when non-nil, receives one line per completed simulation.
-	Progress func(line string)
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives the engine's typed progress
+	// events (delivery is serialised by the engine).
+	Progress func(engine.Event)
 }
 
 // DefaultOptions runs the full suite at 1M instructions per point.
@@ -42,79 +52,92 @@ func (o *Options) setDefaults() {
 	}
 }
 
-type runKey struct {
-	workload string
-	cfg      core.Config
-}
-
-// Runner executes simulations with memoisation.
+// Runner executes experiment job grids on a shared memoising engine.
 type Runner struct {
-	opts   Options
-	images map[string]*program.Image
-	cache  map[runKey]core.Result
-
-	// Simulations counts actual (non-memoised) runs.
-	Simulations int
+	opts Options
+	eng  *engine.Engine
 }
 
-// NewRunner builds a runner for the given options.
+// NewRunner builds a runner (and its engine) for the given options.
 func NewRunner(opts Options) *Runner {
 	opts.setDefaults()
 	return &Runner{
-		opts:   opts,
-		images: make(map[string]*program.Image),
-		cache:  make(map[runKey]core.Result),
+		opts: opts,
+		eng: engine.New(
+			engine.WithWorkers(opts.Workers),
+			engine.WithInstrBudget(opts.Instrs),
+			engine.WithProgress(opts.Progress),
+		),
 	}
 }
 
 // Options returns the normalised options.
 func (r *Runner) Options() Options { return r.opts }
 
+// Engine exposes the underlying engine (for sharing caches or inspecting
+// counters).
+func (r *Runner) Engine() *engine.Engine { return r.eng }
+
+// Simulations counts actual (non-memoised) simulations so far.
+func (r *Runner) Simulations() int { return r.eng.Stats().Simulations }
+
 // Image returns (generating once) the program image for a workload.
-func (r *Runner) Image(w workloads.Workload) *program.Image {
-	if im, ok := r.images[w.Name]; ok {
-		return im
-	}
-	im, err := program.Generate(w.Params)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: workload %s: %v", w.Name, err))
-	}
-	r.images[w.Name] = im
-	return im
+func (r *Runner) Image(ctx context.Context, w workloads.Workload) (*program.Image, error) {
+	return r.eng.Images().Get(ctx, w.Params)
+}
+
+// job names the simulation point for workload w under cfg. Jobs carry the
+// workload's params directly so runners built over custom (off-registry)
+// workload definitions behave identically to named ones.
+func job(w workloads.Workload, cfg core.Config) engine.Job {
+	params := w.Params
+	return engine.Job{Name: w.Name, Config: cfg, Params: &params, Seed: w.Seed}
 }
 
 // Run simulates workload w under cfg (with the runner's instruction budget),
 // memoised on (workload, config).
-func (r *Runner) Run(w workloads.Workload, cfg core.Config) core.Result {
-	cfg.MaxInstrs = r.opts.Instrs
-	cfg.MaxCycles = 0 // re-derive from MaxInstrs
-	if err := cfg.Validate(); err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	key := runKey{workload: w.Name, cfg: cfg}
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	im := r.Image(w)
-	p, err := core.New(cfg, im, oracle.NewWalker(im, w.Seed))
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	res := p.Run()
-	r.cache[key] = res
-	r.Simulations++
-	if r.opts.Progress != nil {
-		r.opts.Progress(fmt.Sprintf("%-10s %-28s IPC %.3f", w.Name, res.Prefetcher, res.IPC))
-	}
-	return res
+func (r *Runner) Run(ctx context.Context, w workloads.Workload, cfg core.Config) (core.Result, error) {
+	return r.eng.Run(ctx, job(w, cfg))
 }
 
-// Baseline runs the no-prefetch machine for w at the given L1-I size.
-func (r *Runner) Baseline(w workloads.Workload, l1iBytes int) core.Result {
+// grid sweeps the full workload x config cross product in parallel and
+// returns results indexed [workload][config].
+func (r *Runner) grid(ctx context.Context, ws []workloads.Workload, cfgs []core.Config) ([][]core.Result, error) {
+	jobs := make([]engine.Job, 0, len(ws)*len(cfgs))
+	for _, w := range ws {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, job(w, cfg))
+		}
+	}
+	outs, err := r.eng.Sweep(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := make([][]core.Result, len(ws))
+	for i := range ws {
+		res[i] = make([]core.Result, len(cfgs))
+		for j := range cfgs {
+			out := outs[i*len(cfgs)+j]
+			if out.Err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", out.Job.Name, out.Err)
+			}
+			res[i][j] = out.Result
+		}
+	}
+	return res, nil
+}
+
+// baselineConfig is the no-prefetch machine at the given L1-I size.
+func baselineConfig(l1iBytes int) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.L1ISizeBytes = l1iBytes
 	cfg.Prefetch.Kind = core.PrefetchNone
-	return r.Run(w, cfg)
+	return cfg
+}
+
+// Baseline runs the no-prefetch machine for w at the given L1-I size.
+func (r *Runner) Baseline(ctx context.Context, w workloads.Workload, l1iBytes int) (core.Result, error) {
+	return r.Run(ctx, w, baselineConfig(l1iBytes))
 }
 
 // schemeConfigs returns the four schemes the headline comparison runs.
@@ -138,12 +161,19 @@ var schemeNames = []string{"nextline", "streambuf", "fdp", "fdp+cpf"}
 
 // E1Characterization reproduces the benchmark characterisation table:
 // footprint, baseline performance, and branch behaviour per workload.
-func E1Characterization(r *Runner) *stats.Table {
+func E1Characterization(ctx context.Context, r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("E1: workload characterisation (no-prefetch baseline, 16KB L1-I)",
 		"bench", "class", "code KB", "static br", "IPC", "miss/KI", "brMPKI", "cond acc%", "FTB hit%")
-	for _, w := range r.opts.Workloads {
-		im := r.Image(w)
-		res := r.Baseline(w, 16*1024)
+	grid, err := r.grid(ctx, r.opts.Workloads, []core.Config{baselineConfig(16 * 1024)})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range r.opts.Workloads {
+		im, err := r.Image(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		res := grid[i][0]
 		class := "client"
 		if w.LargeFootprint {
 			class = "server"
@@ -151,20 +181,25 @@ func E1Characterization(r *Runner) *stats.Table {
 		t.AddRow(w.Name, class, im.Size()/1024, im.StaticBranchCount(),
 			res.IPC, res.MissPKI, res.MispredictPKI, res.CondAccuracyPct, res.FTBHitRatePct)
 	}
-	return t
+	return t, nil
 }
 
 // speedupTable builds the per-benchmark % speedup comparison at one cache
 // size — the paper's headline figure shape.
-func speedupTable(r *Runner, title string, l1iBytes int) *stats.Table {
+func speedupTable(ctx context.Context, r *Runner, title string, l1iBytes int) (*stats.Table, error) {
 	t := stats.NewTable(title, append([]string{"bench"}, schemeNames...)...)
+	cfgs := append([]core.Config{baselineConfig(l1iBytes)}, schemeConfigs(l1iBytes)...)
+	grid, err := r.grid(ctx, r.opts.Workloads, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	gains := make([][]float64, len(schemeNames))
-	for _, w := range r.opts.Workloads {
-		base := r.Baseline(w, l1iBytes)
+	for i, w := range r.opts.Workloads {
+		base := grid[i][0]
 		row := []interface{}{w.Name}
-		for i, cfg := range schemeConfigs(l1iBytes) {
-			g := r.Run(w, cfg).SpeedupPctOver(base)
-			gains[i] = append(gains[i], g)
+		for j := range schemeNames {
+			g := grid[i][j+1].SpeedupPctOver(base)
+			gains[j] = append(gains[j], g)
 			row = append(row, fmt.Sprintf("%+.1f%%", g))
 		}
 		t.AddRow(row...)
@@ -174,32 +209,36 @@ func speedupTable(r *Runner, title string, l1iBytes int) *stats.Table {
 		grow = append(grow, fmt.Sprintf("%+.1f%%", stats.GmeanSpeedupPct(gains[i])))
 	}
 	t.AddRow(grow...)
-	return t
+	return t, nil
 }
 
 // E2SpeedupSmallCache is the headline comparison at a 16KB L1-I.
-func E2SpeedupSmallCache(r *Runner) *stats.Table {
-	return speedupTable(r, "E2: % speedup over no-prefetch, 16KB L1-I", 16*1024)
+func E2SpeedupSmallCache(ctx context.Context, r *Runner) (*stats.Table, error) {
+	return speedupTable(ctx, r, "E2: % speedup over no-prefetch, 16KB L1-I", 16*1024)
 }
 
 // E3SpeedupLargeCache repeats E2 at 32KB, where gains shrink.
-func E3SpeedupLargeCache(r *Runner) *stats.Table {
-	return speedupTable(r, "E3: % speedup over no-prefetch, 32KB L1-I", 32*1024)
+func E3SpeedupLargeCache(ctx context.Context, r *Runner) (*stats.Table, error) {
+	return speedupTable(ctx, r, "E3: % speedup over no-prefetch, 32KB L1-I", 32*1024)
 }
 
 // E4BusUtilization compares bandwidth cost per scheme.
-func E4BusUtilization(r *Runner) *stats.Table {
+func E4BusUtilization(ctx context.Context, r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("E4: L1↔L2 bus utilisation (%), 16KB L1-I",
 		append([]string{"bench", "none"}, schemeNames...)...)
-	for _, w := range r.opts.Workloads {
-		base := r.Baseline(w, 16*1024)
-		row := []interface{}{w.Name, base.BusUtilPct}
-		for _, cfg := range schemeConfigs(16 * 1024) {
-			row = append(row, r.Run(w, cfg).BusUtilPct)
+	cfgs := append([]core.Config{baselineConfig(16 * 1024)}, schemeConfigs(16*1024)...)
+	grid, err := r.grid(ctx, r.opts.Workloads, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range r.opts.Workloads {
+		row := []interface{}{w.Name}
+		for j := range cfgs {
+			row = append(row, grid[i][j].BusUtilPct)
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // filterVariants are the cache-probe-filtering configurations of E5.
@@ -225,21 +264,27 @@ func filterVariants() (names []string, cfgs []core.Config) {
 
 // E5CacheProbeFiltering evaluates the paper's filtering mechanisms: speedup
 // retained vs bus traffic removed.
-func E5CacheProbeFiltering(r *Runner) *stats.Table {
+func E5CacheProbeFiltering(ctx context.Context, r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("E5: FDP cache-probe filtering (large-footprint workloads, 16KB L1-I)",
 		"bench", "filter", "speedup", "bus%", "useful%", "issued/KI")
-	names, cfgs := filterVariants()
-	for _, w := range r.suiteLarge() {
-		base := r.Baseline(w, 16*1024)
-		for i, cfg := range cfgs {
-			res := r.Run(w, cfg)
-			t.AddRow(w.Name, names[i],
+	names, variants := filterVariants()
+	ws := r.suiteLarge()
+	cfgs := append([]core.Config{baselineConfig(16 * 1024)}, variants...)
+	grid, err := r.grid(ctx, ws, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		base := grid[i][0]
+		for j, name := range names {
+			res := grid[i][j+1]
+			t.AddRow(w.Name, name,
 				fmt.Sprintf("%+.1f%%", res.SpeedupPctOver(base)),
 				res.BusUtilPct, res.UsefulPct,
 				stats.PerKilo(res.PrefetchIssued, res.Committed))
 		}
 	}
-	return t
+	return t, nil
 }
 
 func (r *Runner) suiteLarge() []workloads.Workload {
@@ -255,145 +300,231 @@ func (r *Runner) suiteLarge() []workloads.Workload {
 	return out
 }
 
-// E6FTQSweep shows speedup vs FTQ depth: decoupling depth is what creates
-// prefetch opportunity; depth 1 degenerates to a coupled front end.
-func E6FTQSweep(r *Runner) *stats.Table {
-	sizes := []int{1, 2, 4, 8, 16, 32, 64}
-	t := stats.NewTable("E6: FDP+CPF speedup vs FTQ depth (entries), 16KB L1-I",
-		append([]string{"bench"}, intHeaders(sizes)...)...)
-	for _, w := range r.suiteLarge() {
-		base := r.Baseline(w, 16*1024)
+// sweepVsBaseline renders the common "speedup vs knob" figure shape: one row
+// per large-footprint workload, one column per configuration, each cell the
+// speedup over the shared 16KB no-prefetch baseline, formatted by cell.
+func sweepVsBaseline(ctx context.Context, r *Runner, title string, headers []string,
+	cfgs []core.Config, cell func(res, base core.Result) string) (*stats.Table, error) {
+	t := stats.NewTable(title, append([]string{"bench"}, headers...)...)
+	ws := r.suiteLarge()
+	all := append([]core.Config{baselineConfig(16 * 1024)}, cfgs...)
+	grid, err := r.grid(ctx, ws, all)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		base := grid[i][0]
 		row := []interface{}{w.Name}
-		for _, n := range sizes {
-			cfg := core.DefaultConfig()
-			cfg.Prefetch.Kind = core.PrefetchFDP
-			cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
-			cfg.FTQEntries = n
-			row = append(row, fmt.Sprintf("%+.1f%%", r.Run(w, cfg).SpeedupPctOver(base)))
+		for j := range cfgs {
+			row = append(row, cell(grid[i][j+1], base))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
+}
+
+func speedupCell(res, base core.Result) string {
+	return fmt.Sprintf("%+.1f%%", res.SpeedupPctOver(base))
+}
+
+// E6FTQSweep shows speedup vs FTQ depth: decoupling depth is what creates
+// prefetch opportunity; depth 1 degenerates to a coupled front end.
+func E6FTQSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
+	sizes := []int{1, 2, 4, 8, 16, 32, 64}
+	cfgs := make([]core.Config, len(sizes))
+	for i, n := range sizes {
+		cfg := core.DefaultConfig()
+		cfg.Prefetch.Kind = core.PrefetchFDP
+		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+		cfg.FTQEntries = n
+		cfgs[i] = cfg
+	}
+	return sweepVsBaseline(ctx, r, "E6: FDP+CPF speedup vs FTQ depth (entries), 16KB L1-I",
+		intHeaders(sizes), cfgs, speedupCell)
 }
 
 // E7PrefetchBufferSweep sizes the prefetch buffer.
-func E7PrefetchBufferSweep(r *Runner) *stats.Table {
+func E7PrefetchBufferSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	sizes := []int{8, 16, 32, 64, 128}
-	t := stats.NewTable("E7: FDP+CPF speedup vs prefetch buffer entries, 16KB L1-I",
-		append([]string{"bench"}, intHeaders(sizes)...)...)
-	for _, w := range r.suiteLarge() {
-		base := r.Baseline(w, 16*1024)
+	cfgs := make([]core.Config, len(sizes))
+	for i, n := range sizes {
+		cfg := core.DefaultConfig()
+		cfg.Prefetch.Kind = core.PrefetchFDP
+		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+		cfg.PrefetchBufferEntries = n
+		cfgs[i] = cfg
+	}
+	return sweepVsBaseline(ctx, r, "E7: FDP+CPF speedup vs prefetch buffer entries, 16KB L1-I",
+		intHeaders(sizes), cfgs, speedupCell)
+}
+
+// pairedKnobSweep renders the "speedup vs knob" figure shape for knobs that
+// change the baseline machine too: each pair holds that knob value's own
+// no-prefetch baseline and its prefetching machine, and each cell is the
+// speedup of the pair's second config over its first.
+func pairedKnobSweep(ctx context.Context, r *Runner, title string, headers []string,
+	pairs [][2]core.Config) (*stats.Table, error) {
+	t := stats.NewTable(title, append([]string{"bench"}, headers...)...)
+	cfgs := make([]core.Config, 0, 2*len(pairs))
+	for _, p := range pairs {
+		cfgs = append(cfgs, p[0], p[1])
+	}
+	ws := r.suiteLarge()
+	grid, err := r.grid(ctx, ws, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
 		row := []interface{}{w.Name}
-		for _, n := range sizes {
-			cfg := core.DefaultConfig()
-			cfg.Prefetch.Kind = core.PrefetchFDP
-			cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
-			cfg.PrefetchBufferEntries = n
-			row = append(row, fmt.Sprintf("%+.1f%%", r.Run(w, cfg).SpeedupPctOver(base)))
+		for j := range pairs {
+			row = append(row, speedupCell(grid[i][2*j+1], grid[i][2*j]))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // E8LatencySensitivity grows the memory latency; prefetching hides more of a
-// longer latency, so FDP's advantage must grow.
-func E8LatencySensitivity(r *Runner) *stats.Table {
+// longer latency, so FDP's advantage must grow. Each latency point has its
+// own baseline (the knob changes the baseline machine too).
+func E8LatencySensitivity(ctx context.Context, r *Runner) (*stats.Table, error) {
 	lats := []int{30, 70, 140, 280}
-	t := stats.NewTable("E8: FDP+CPF speedup vs memory latency (cycles), 16KB L1-I",
-		append([]string{"bench"}, intHeaders(lats)...)...)
-	for _, w := range r.suiteLarge() {
-		row := []interface{}{w.Name}
-		for _, lat := range lats {
-			base := core.DefaultConfig()
-			base.Mem.MemLatency = lat
-			fdp := base
-			fdp.Prefetch.Kind = core.PrefetchFDP
-			fdp.Prefetch.FDP.CPF = prefetch.CPFConservative
-			g := r.Run(w, fdp).SpeedupPctOver(r.Run(w, base))
-			row = append(row, fmt.Sprintf("%+.1f%%", g))
-		}
-		t.AddRow(row...)
+	pairs := make([][2]core.Config, len(lats))
+	for i, lat := range lats {
+		base := core.DefaultConfig()
+		base.Mem.MemLatency = lat
+		fdp := base
+		fdp.Prefetch.Kind = core.PrefetchFDP
+		fdp.Prefetch.FDP.CPF = prefetch.CPFConservative
+		pairs[i] = [2]core.Config{base, fdp}
 	}
-	return t
+	return pairedKnobSweep(ctx, r, "E8: FDP+CPF speedup vs memory latency (cycles), 16KB L1-I",
+		intHeaders(lats), pairs)
 }
 
 // E9CoverageAccuracy tabulates prefetch quality per scheme.
-func E9CoverageAccuracy(r *Runner) *stats.Table {
+func E9CoverageAccuracy(ctx context.Context, r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("E9: prefetch coverage and accuracy, 16KB L1-I",
 		"bench", "scheme", "coverage%", "cov+partial%", "useful%", "issued/KI")
-	for _, w := range r.opts.Workloads {
-		for i, cfg := range schemeConfigs(16 * 1024) {
-			res := r.Run(w, cfg)
-			t.AddRow(w.Name, schemeNames[i], res.CoveragePct, res.PartialPct,
+	grid, err := r.grid(ctx, r.opts.Workloads, schemeConfigs(16*1024))
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range r.opts.Workloads {
+		for j, name := range schemeNames {
+			res := grid[i][j]
+			t.AddRow(w.Name, name, res.CoveragePct, res.PartialPct,
 				res.UsefulPct, stats.PerKilo(res.PrefetchIssued, res.Committed))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // E10FTBSweep is the BTB-reach ablation: FDP effectiveness tracks how much
 // of the branch working set the FTB holds.
-func E10FTBSweep(r *Runner) *stats.Table {
+func E10FTBSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	sets := []int{64, 128, 256, 512, 1024, 2048}
-	t := stats.NewTable("E10: FDP+CPF speedup and FTB hit rate vs FTB sets (4-way), 16KB L1-I",
-		append([]string{"bench"}, intHeaders(sets)...)...)
-	for _, w := range r.suiteLarge() {
-		base := r.Baseline(w, 16*1024)
-		row := []interface{}{w.Name}
-		for _, n := range sets {
-			cfg := core.DefaultConfig()
-			cfg.Prefetch.Kind = core.PrefetchFDP
-			cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
-			cfg.FTB.Sets = n
-			res := r.Run(w, cfg)
-			row = append(row, fmt.Sprintf("%+.1f%%/%.0f%%", res.SpeedupPctOver(base), res.FTBHitRatePct))
-		}
-		t.AddRow(row...)
+	cfgs := make([]core.Config, len(sets))
+	for i, n := range sets {
+		cfg := core.DefaultConfig()
+		cfg.Prefetch.Kind = core.PrefetchFDP
+		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+		cfg.FTB.Sets = n
+		cfgs[i] = cfg
 	}
-	return t
+	return sweepVsBaseline(ctx, r, "E10: FDP+CPF speedup and FTB hit rate vs FTB sets (4-way), 16KB L1-I",
+		intHeaders(sets), cfgs, func(res, base core.Result) string {
+			return fmt.Sprintf("%+.1f%%/%.0f%%", res.SpeedupPctOver(base), res.FTBHitRatePct)
+		})
 }
 
 // E11Ablation checks robustness: direction predictor quality and
 // block-oriented vs conventional BTB organisation.
-func E11Ablation(r *Runner) *stats.Table {
+func E11Ablation(ctx context.Context, r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("E11: ablations (FDP+CPF, 16KB L1-I): IPC by predictor and BTB organisation",
 		"bench", "hybrid", "gshare", "local", "bimodal", "conventional-BTB")
-	for _, w := range r.suiteLarge() {
-		mk := func(pred string, blockOriented bool) core.Result {
-			cfg := core.DefaultConfig()
-			cfg.Prefetch.Kind = core.PrefetchFDP
-			cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
-			cfg.PredictorName = pred
-			cfg.FTB.BlockOriented = blockOriented
-			return r.Run(w, cfg)
-		}
-		t.AddRow(w.Name,
-			mk("hybrid", true).IPC,
-			mk("gshare", true).IPC,
-			mk("local", true).IPC,
-			mk("bimodal", true).IPC,
-			mk("hybrid", false).IPC,
-		)
+	mk := func(pred string, blockOriented bool) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Prefetch.Kind = core.PrefetchFDP
+		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+		cfg.PredictorName = pred
+		cfg.FTB.BlockOriented = blockOriented
+		return cfg
 	}
-	return t
+	cfgs := []core.Config{
+		mk("hybrid", true), mk("gshare", true), mk("local", true),
+		mk("bimodal", true), mk("hybrid", false),
+	}
+	ws := r.suiteLarge()
+	grid, err := r.grid(ctx, ws, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		row := []interface{}{w.Name}
+		for j := range cfgs {
+			row = append(row, grid[i][j].IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
 }
 
-// All runs every experiment in order.
-func All(r *Runner) []*stats.Table {
-	return []*stats.Table{
-		E1Characterization(r),
-		E2SpeedupSmallCache(r),
-		E3SpeedupLargeCache(r),
-		E4BusUtilization(r),
-		E5CacheProbeFiltering(r),
-		E6FTQSweep(r),
-		E7PrefetchBufferSweep(r),
-		E8LatencySensitivity(r),
-		E9CoverageAccuracy(r),
-		E10FTBSweep(r),
-		E11Ablation(r),
+// Experiment names one runnable experiment of the suite.
+type Experiment struct {
+	// ID is the short identifier ("E1".."E16").
+	ID string
+	// Run produces the experiment's table.
+	Run func(context.Context, *Runner) (*stats.Table, error)
+}
+
+// Suite returns the reconstructed 1999 evaluation (E1..E11) in order.
+func Suite() []Experiment {
+	return []Experiment{
+		{"E1", E1Characterization},
+		{"E2", E2SpeedupSmallCache},
+		{"E3", E3SpeedupLargeCache},
+		{"E4", E4BusUtilization},
+		{"E5", E5CacheProbeFiltering},
+		{"E6", E6FTQSweep},
+		{"E7", E7PrefetchBufferSweep},
+		{"E8", E8LatencySensitivity},
+		{"E9", E9CoverageAccuracy},
+		{"E10", E10FTBSweep},
+		{"E11", E11Ablation},
 	}
+}
+
+// RunExperiments executes the given experiments concurrently over one shared
+// runner (the engine's worker pool bounds total simulation concurrency) and
+// returns their tables in the given order. Per-experiment failures are
+// joined into the returned error; tables are nil on failure.
+func RunExperiments(ctx context.Context, r *Runner, exps []Experiment) ([]*stats.Table, error) {
+	tables := make([]*stats.Table, len(exps))
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	for i, ex := range exps {
+		wg.Add(1)
+		go func(i int, ex Experiment) {
+			defer wg.Done()
+			t, err := ex.Run(ctx, r)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", ex.ID, err)
+				return
+			}
+			tables[i] = t
+		}(i, ex)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// All runs the reconstructed evaluation (E1..E11) in parallel.
+func All(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	return RunExperiments(ctx, r, Suite())
 }
 
 func intHeaders(vals []int) []string {

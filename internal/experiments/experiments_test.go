@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"fdip/internal/core"
-	"fdip/internal/stats"
+	"fdip/internal/engine"
 	"fdip/internal/workloads"
 )
 
@@ -17,13 +18,20 @@ func quickOpts() Options {
 }
 
 func TestRunnerMemoises(t *testing.T) {
+	ctx := context.Background()
 	r := NewRunner(quickOpts())
 	w := r.Options().Workloads[0]
 	cfg := core.DefaultConfig()
-	a := r.Run(w, cfg)
-	n := r.Simulations
-	b := r.Run(w, cfg)
-	if r.Simulations != n {
+	a, err := r.Run(ctx, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.Simulations()
+	b, err := r.Run(ctx, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulations() != n {
 		t.Error("identical run re-simulated")
 	}
 	if a != b {
@@ -32,23 +40,47 @@ func TestRunnerMemoises(t *testing.T) {
 	// A different config is a different run.
 	cfg2 := cfg
 	cfg2.FTQEntries = 8
-	r.Run(w, cfg2)
-	if r.Simulations != n+1 {
+	if _, err := r.Run(ctx, w, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Simulations() != n+1 {
 		t.Error("distinct config not simulated")
 	}
 }
 
 func TestRunnerImageCached(t *testing.T) {
+	ctx := context.Background()
 	r := NewRunner(quickOpts())
 	w := r.Options().Workloads[0]
-	if r.Image(w) != r.Image(w) {
+	a, err := r.Image(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Image(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
 		t.Error("image regenerated per call")
+	}
+}
+
+func TestRunPropagatesConfigError(t *testing.T) {
+	r := NewRunner(quickOpts())
+	w := r.Options().Workloads[0]
+	cfg := core.DefaultConfig()
+	cfg.Prefetch.Kind = "hexray"
+	if _, err := r.Run(context.Background(), w, cfg); err == nil {
+		t.Error("bad config did not surface as an error")
 	}
 }
 
 func TestE1HasOneRowPerWorkload(t *testing.T) {
 	r := NewRunner(quickOpts())
-	tab := E1Characterization(r)
+	tab, err := E1Characterization(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tab.NumRows() != 2 {
 		t.Errorf("rows = %d", tab.NumRows())
 	}
@@ -56,7 +88,10 @@ func TestE1HasOneRowPerWorkload(t *testing.T) {
 
 func TestE2IncludesGmeanRow(t *testing.T) {
 	r := NewRunner(quickOpts())
-	tab := E2SpeedupSmallCache(r)
+	tab, err := E2SpeedupSmallCache(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := tab.String()
 	if !strings.Contains(out, "gmean") {
 		t.Errorf("no gmean row:\n%s", out)
@@ -68,7 +103,10 @@ func TestE2IncludesGmeanRow(t *testing.T) {
 
 func TestSweepsRespectLargeOnly(t *testing.T) {
 	r := NewRunner(quickOpts()) // gcc is large, deltablue is not
-	tab := E6FTQSweep(r)
+	tab, err := E6FTQSweep(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := tab.String()
 	if !strings.Contains(out, "gcc") {
 		t.Error("large workload missing from sweep")
@@ -100,10 +138,18 @@ func TestAllProducesElevenTables(t *testing.T) {
 	}
 	opts := quickOpts()
 	opts.Instrs = 20_000
-	var progress int
-	opts.Progress = func(string) { progress++ }
+	opts.Workers = 4
+	var done int
+	opts.Progress = func(ev engine.Event) {
+		if ev.Kind == engine.EventJobDone {
+			done++
+		}
+	}
 	r := NewRunner(opts)
-	tables := All(r)
+	tables, err := All(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tables) != 11 {
 		t.Fatalf("tables = %d", len(tables))
 	}
@@ -112,25 +158,71 @@ func TestAllProducesElevenTables(t *testing.T) {
 			t.Errorf("table %d (%s) empty", i, tab.Title)
 		}
 	}
-	if progress != r.Simulations {
-		t.Errorf("progress lines %d != simulations %d", progress, r.Simulations)
+	if done != r.Simulations() {
+		t.Errorf("done events %d != simulations %d", done, r.Simulations())
 	}
-	if r.Simulations == 0 {
+	if r.Simulations() == 0 {
 		t.Error("no simulations ran")
+	}
+}
+
+func TestSuiteParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs E2 twice")
+	}
+	ctx := context.Background()
+	opts := quickOpts()
+	opts.Instrs = 20_000
+
+	seqOpts := opts
+	seqOpts.Workers = 1
+	seq, err := E2SpeedupSmallCache(ctx, NewRunner(seqOpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := opts
+	parOpts.Workers = 8
+	par, err := E2SpeedupSmallCache(ctx, NewRunner(parOpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("E2 differs between workers=1 and workers=8:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestRunExperimentsPropagatesErrors(t *testing.T) {
+	r := NewRunner(quickOpts())
+	// Cancelled context: every experiment must fail, not hang or panic.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := All(ctx, r); err == nil {
+		t.Error("cancelled suite returned no error")
 	}
 }
 
 func TestSpeedupTableOrderingHolds(t *testing.T) {
 	// On an instruction-bound workload FDP must beat next-line even at
 	// modest budgets — the headline ordering the harness exists to show.
+	ctx := context.Background()
 	gcc, _ := workloads.ByName("gcc")
 	r := NewRunner(Options{Instrs: 150_000, Workloads: []workloads.Workload{gcc}})
-	base := r.Baseline(gcc, 16*1024)
+	base, err := r.Baseline(ctx, gcc, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfgs := schemeConfigs(16 * 1024)
-	nlp := r.Run(gcc, cfgs[0]).SpeedupPctOver(base)
-	fdp := r.Run(gcc, cfgs[2]).SpeedupPctOver(base)
+	nlpRes, err := r.Run(ctx, gcc, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdpRes, err := r.Run(ctx, gcc, cfgs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlp := nlpRes.SpeedupPctOver(base)
+	fdp := fdpRes.SpeedupPctOver(base)
 	if fdp <= nlp {
 		t.Errorf("FDP %.1f%% <= next-line %.1f%%", fdp, nlp)
 	}
-	_ = stats.Pct // keep import if assertions change
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"fdip/internal/core"
@@ -10,7 +11,7 @@ import (
 
 // This file holds the extension experiments (E12..E16): ablations beyond the
 // reconstructed 1999 evaluation that probe the design decisions DESIGN.md
-// calls out. They reuse the same Runner/memoisation machinery.
+// calls out. They reuse the same Runner/engine machinery.
 
 // fdpCPF returns the standard FDP+conservative-CPF machine at 16KB.
 func fdpCPF() core.Config {
@@ -22,104 +23,101 @@ func fdpCPF() core.Config {
 
 // E12WrongPathPIQ ablates the redirect policy: discard queued prefetch
 // candidates on a squash (the paper's policy) vs keep them in flight.
-func E12WrongPathPIQ(r *Runner) *stats.Table {
+func E12WrongPathPIQ(ctx context.Context, r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("E12 (ext): PIQ policy on redirect — discard vs keep wrong-path candidates",
 		"bench", "policy", "speedup", "bus%", "useful%")
-	for _, w := range r.suiteLarge() {
-		base := r.Baseline(w, 16*1024)
-		for _, keep := range []bool{false, true} {
-			cfg := fdpCPF()
-			cfg.Prefetch.FDP.KeepPIQOnSquash = keep
-			res := r.Run(w, cfg)
-			policy := "discard"
-			if keep {
-				policy = "keep"
-			}
+	policies := []string{"discard", "keep"}
+	cfgs := []core.Config{baselineConfig(16 * 1024)}
+	for _, keep := range []bool{false, true} {
+		cfg := fdpCPF()
+		cfg.Prefetch.FDP.KeepPIQOnSquash = keep
+		cfgs = append(cfgs, cfg)
+	}
+	ws := r.suiteLarge()
+	grid, err := r.grid(ctx, ws, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		base := grid[i][0]
+		for j, policy := range policies {
+			res := grid[i][j+1]
 			t.AddRow(w.Name, policy,
 				fmt.Sprintf("%+.1f%%", res.SpeedupPctOver(base)),
 				res.BusUtilPct, res.UsefulPct)
 		}
 	}
-	return t
+	return t, nil
 }
 
 // E13TagPortSweep varies the L1-I tag ports that cache-probe filtering
 // steals idle cycles from. With one port the demand stream starves the
 // filter; extra ports buy verification bandwidth.
-func E13TagPortSweep(r *Runner) *stats.Table {
+func E13TagPortSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	ports := []int{1, 2, 3, 4}
-	t := stats.NewTable("E13 (ext): FDP+CPF(conservative) vs L1-I tag ports, 16KB L1-I",
-		append([]string{"bench"}, intHeaders(ports)...)...)
-	for _, w := range r.suiteLarge() {
-		base := r.Baseline(w, 16*1024)
-		row := []interface{}{w.Name}
-		for _, p := range ports {
-			cfg := fdpCPF()
-			cfg.L1ITagPorts = p
-			res := r.Run(w, cfg)
-			row = append(row, fmt.Sprintf("%+.1f%%/%.0f%%", res.SpeedupPctOver(base), res.BusUtilPct))
-		}
-		t.AddRow(row...)
+	cfgs := make([]core.Config, len(ports))
+	for i, p := range ports {
+		cfg := fdpCPF()
+		cfg.L1ITagPorts = p
+		cfgs[i] = cfg
 	}
-	return t
+	return sweepVsBaseline(ctx, r, "E13 (ext): FDP+CPF(conservative) vs L1-I tag ports, 16KB L1-I",
+		intHeaders(ports), cfgs, func(res, base core.Result) string {
+			return fmt.Sprintf("%+.1f%%/%.0f%%", res.SpeedupPctOver(base), res.BusUtilPct)
+		})
 }
 
 // E14FetchWidthSweep varies the fetch width: wider fetch raises the demand
-// rate the prefetcher must stay ahead of.
-func E14FetchWidthSweep(r *Runner) *stats.Table {
+// rate the prefetcher must stay ahead of. Each width has its own baseline.
+func E14FetchWidthSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	widths := []int{1, 2, 4, 8}
-	t := stats.NewTable("E14 (ext): FDP+CPF speedup vs fetch width, 16KB L1-I",
-		append([]string{"bench"}, intHeaders(widths)...)...)
-	for _, w := range r.suiteLarge() {
-		row := []interface{}{w.Name}
-		for _, fw := range widths {
-			base := core.DefaultConfig()
-			base.FetchWidth = fw
-			fdp := fdpCPF()
-			fdp.FetchWidth = fw
-			g := r.Run(w, fdp).SpeedupPctOver(r.Run(w, base))
-			row = append(row, fmt.Sprintf("%+.1f%%", g))
-		}
-		t.AddRow(row...)
+	pairs := make([][2]core.Config, len(widths))
+	for i, fw := range widths {
+		base := core.DefaultConfig()
+		base.FetchWidth = fw
+		fdp := fdpCPF()
+		fdp.FetchWidth = fw
+		pairs[i] = [2]core.Config{base, fdp}
 	}
-	return t
+	return pairedKnobSweep(ctx, r, "E14 (ext): FDP+CPF speedup vs fetch width, 16KB L1-I",
+		intHeaders(widths), pairs)
 }
 
 // E15StreamGeometry sweeps the stream-buffer baseline's geometry so the
 // headline comparison cannot be accused of a weak baseline.
-func E15StreamGeometry(r *Runner) *stats.Table {
-	t := stats.NewTable("E15 (ext): stream-buffer geometry (streams x depth), speedup at 16KB L1-I",
-		"bench", "1x4", "2x4", "4x4", "8x4", "4x2", "4x8")
+func E15StreamGeometry(ctx context.Context, r *Runner) (*stats.Table, error) {
 	shapes := [][2]int{{1, 4}, {2, 4}, {4, 4}, {8, 4}, {4, 2}, {4, 8}}
-	for _, w := range r.suiteLarge() {
-		base := r.Baseline(w, 16*1024)
-		row := []interface{}{w.Name}
-		for _, sh := range shapes {
-			cfg := core.DefaultConfig()
-			cfg.Prefetch.Kind = core.PrefetchStream
-			cfg.Prefetch.Streams = sh[0]
-			cfg.Prefetch.StreamDepth = sh[1]
-			row = append(row, fmt.Sprintf("%+.1f%%", r.Run(w, cfg).SpeedupPctOver(base)))
-		}
-		t.AddRow(row...)
+	headers := make([]string, len(shapes))
+	cfgs := make([]core.Config, len(shapes))
+	for i, sh := range shapes {
+		headers[i] = fmt.Sprintf("%dx%d", sh[0], sh[1])
+		cfg := core.DefaultConfig()
+		cfg.Prefetch.Kind = core.PrefetchStream
+		cfg.Prefetch.Streams = sh[0]
+		cfg.Prefetch.StreamDepth = sh[1]
+		cfgs[i] = cfg
 	}
-	return t
+	return sweepVsBaseline(ctx, r, "E15 (ext): stream-buffer geometry (streams x depth), speedup at 16KB L1-I",
+		headers, cfgs, speedupCell)
 }
 
 // E16PerfectBound compares FDP+CPF against the perfect-L1-I upper bound: how
 // much of the total front-end opportunity fetch-directed prefetching
 // captures.
-func E16PerfectBound(r *Runner) *stats.Table {
+func E16PerfectBound(ctx context.Context, r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("E16 (ext): FDP+CPF vs perfect L1-I upper bound, 16KB L1-I",
 		"bench", "fdp+cpf", "perfect", "captured")
-	for _, w := range r.opts.Workloads {
-		base := r.Baseline(w, 16*1024)
-		fdp := r.Run(w, fdpCPF()).SpeedupPctOver(base)
-
-		perfectCfg := core.DefaultConfig()
-		perfectCfg.PerfectL1I = true
-		perfect := r.Run(w, perfectCfg).SpeedupPctOver(base)
-
+	perfectCfg := core.DefaultConfig()
+	perfectCfg.PerfectL1I = true
+	cfgs := []core.Config{baselineConfig(16 * 1024), fdpCPF(), perfectCfg}
+	grid, err := r.grid(ctx, r.opts.Workloads, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range r.opts.Workloads {
+		base := grid[i][0]
+		fdp := grid[i][1].SpeedupPctOver(base)
+		perfect := grid[i][2].SpeedupPctOver(base)
 		captured := 0.0
 		if perfect > 0.05 {
 			captured = 100 * fdp / perfect
@@ -129,19 +127,27 @@ func E16PerfectBound(r *Runner) *stats.Table {
 			fmt.Sprintf("%+.1f%%", perfect),
 			fmt.Sprintf("%.0f%%", captured))
 	}
-	return t
+	return t, nil
 }
 
-// E11 gains a "local" predictor column via this variant used by the harness.
+// Extensions returns the extension ablations (E12..E16) in order.
+func Extensions() []Experiment {
+	return []Experiment{
+		{"E12", E12WrongPathPIQ},
+		{"E13", E13TagPortSweep},
+		{"E14", E14FetchWidthSweep},
+		{"E15", E15StreamGeometry},
+		{"E16", E16PerfectBound},
+	}
+}
 
-// AllWithExtensions runs the reconstructed suite plus the extensions.
-func AllWithExtensions(r *Runner) []*stats.Table {
-	tables := All(r)
-	return append(tables,
-		E12WrongPathPIQ(r),
-		E13TagPortSweep(r),
-		E14FetchWidthSweep(r),
-		E15StreamGeometry(r),
-		E16PerfectBound(r),
-	)
+// ExtendedSuite returns the reconstructed suite plus the extensions.
+func ExtendedSuite() []Experiment {
+	return append(Suite(), Extensions()...)
+}
+
+// AllWithExtensions runs the reconstructed suite plus the extensions in
+// parallel.
+func AllWithExtensions(ctx context.Context, r *Runner) ([]*stats.Table, error) {
+	return RunExperiments(ctx, r, ExtendedSuite())
 }

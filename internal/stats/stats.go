@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -242,6 +243,18 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	t.Render(&sb)
 	return sb.String()
+}
+
+// JSON writes the table as one JSON object {title, headers, rows} — the
+// machine-readable form for downstream tooling.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.headers, t.rows})
 }
 
 // CSV writes the table as comma-separated values (no title line).
