@@ -194,6 +194,72 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// stepSim builds the FDP reference machine for kernel microbenchmarks.
+func stepSim(tb testing.TB) *Simulator {
+	tb.Helper()
+	params := program.DefaultParams()
+	params.NumFuncs = 60
+	im := program.MustGenerate(params)
+	cfg := DefaultConfig()
+	cfg.Prefetch.Kind = PrefetchFDP
+	cfg.Prefetch.FDP.CPF = CPFConservative
+	cfg.MaxInstrs = 1 << 62
+	sim, err := NewSimulator(cfg, im, 5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sim
+}
+
+// BenchmarkStep measures the raw per-cycle cost of the kernel (no cycle
+// skipping — Step is the one-cycle primitive).
+func BenchmarkStep(b *testing.B) {
+	sim := stepSim(b)
+	sim.StepN(10_000) // warm caches and buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sim.Cycle())/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkRunShort measures a complete short run through the
+// event-scheduled RunContext path — construction, simulation with idle
+// skipping, and finalisation.
+func BenchmarkRunShort(b *testing.B) {
+	params := program.DefaultParams()
+	params.NumFuncs = 60
+	im := program.MustGenerate(params)
+	cfg := DefaultConfig()
+	cfg.Prefetch.Kind = PrefetchFDP
+	cfg.MaxInstrs = 50_000
+	b.ReportAllocs()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSimulator(cfg, im, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sim.Run()
+		cycles += res.Cycles
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// TestStepZeroAlloc pins the zero-allocation contract of the cycle kernel at
+// the public API: in steady state, advancing the machine allocates nothing.
+// CI runs this test as the allocation-regression gate.
+func TestStepZeroAlloc(t *testing.T) {
+	sim := stepSim(t)
+	sim.StepN(300_000) // steady state: all pools, buffers, and lazy sets touched
+	if avg := testing.AllocsPerRun(2000, sim.Step); avg != 0 {
+		t.Fatalf("Simulator.Step allocates %.2f times per cycle in steady state; want 0", avg)
+	}
+}
+
 // BenchmarkOracleWalker measures ground-truth execution speed.
 func BenchmarkOracleWalker(b *testing.B) {
 	params := program.DefaultParams()

@@ -11,6 +11,7 @@
 //	fdipbench -workloads gcc,perl   # restricted benchmark set
 //	fdipbench -workers 16           # widen the simulation pool
 //	fdipbench -json                 # machine-readable tables
+//	fdipbench -cpuprofile cpu.out   # profile the kernel hot path
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,17 +31,53 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main behind an exit code, so profile-flushing defers execute even
+// on failure paths.
+func run() int {
 	var (
-		instrs  = flag.Uint64("instrs", 1_000_000, "committed instructions per simulation point")
-		only    = flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
-		wls     = flag.String("workloads", "", "comma-separated workload names; empty = all")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		verbose = flag.Bool("v", false, "print per-simulation progress")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut = flag.Bool("json", false, "emit JSON instead of aligned tables")
-		timeout = flag.Duration("timeout", 0, "abort the suite after this duration (0 = none)")
+		instrs     = flag.Uint64("instrs", 1_000_000, "committed instructions per simulation point")
+		only       = flag.String("only", "", "comma-separated experiment ids (e.g. E2,E5); empty = all")
+		wls        = flag.String("workloads", "", "comma-separated workload names; empty = all")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		verbose    = flag.Bool("v", false, "print per-simulation progress")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of aligned tables")
+		timeout    = flag.Duration("timeout", 0, "abort the suite after this duration (0 = none)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdipbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fdipbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fdipbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fdipbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -54,7 +93,7 @@ func main() {
 			w, ok := workloads.ByName(strings.TrimSpace(name))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "fdipbench: unknown workload %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 			opts.Workloads = append(opts.Workloads, w)
 		}
@@ -83,7 +122,7 @@ func main() {
 		}
 		if len(keep) == 0 {
 			fmt.Fprintf(os.Stderr, "fdipbench: no experiments match -only %q\n", *only)
-			os.Exit(2)
+			return 2
 		}
 		suite = keep
 	}
@@ -92,14 +131,14 @@ func main() {
 	tables, err := experiments.RunExperiments(ctx, r, suite)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fdipbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	for _, t := range tables {
 		switch {
 		case *jsonOut:
 			if err := t.JSON(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "fdipbench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		case *csv:
 			fmt.Printf("# %s\n", t.Title)
@@ -113,4 +152,5 @@ func main() {
 	st := r.Engine().Stats()
 	fmt.Fprintf(os.Stderr, "fdipbench: %d simulations (%d memo hits) on %d workers in %s\n",
 		st.Simulations, st.CacheHits, r.Engine().Workers(), time.Since(start).Round(time.Millisecond))
+	return 0
 }

@@ -10,6 +10,7 @@ package backend
 
 import (
 	"fmt"
+	"math"
 
 	"fdip/internal/isa"
 	"fdip/internal/pipe"
@@ -58,33 +59,37 @@ func (c *Config) setDefaults() {
 	}
 }
 
-type robEntry struct {
-	u      pipe.Uop
-	issued bool
-	done   int64
-}
-
-type pipeEntry struct {
-	u     pipe.Uop
-	ready int64
-}
-
 // Backend is the execution model.
 type Backend struct {
 	cfg Config
 
-	rob   []robEntry
-	head  int
-	count int
+	// The ROB is stored as parallel arrays: the scheduler and commit scans
+	// touch only the dense issued/done arrays, keeping the big uop records
+	// out of their cache footprint.
+	robU      []pipe.Uop
+	robIssued []bool
+	robDone   []int64
+	head      int
+	count     int
+	// issuedPrefix is a conservative count of entries from head that are
+	// all issued; the scheduler scan starts past them. Invariant: every
+	// entry in [head, head+issuedPrefix) has issued set.
+	issuedPrefix int
 
 	regReady [isa.NumRegs]int64
-	dpipe    []pipeEntry
-	dpHead   int
+	// The decode pipe is a pair of parallel arrays (uops and their
+	// decode-ready cycles) consumed from dpHead; keeping the ready cycles
+	// dense means the fill scan and NextEvent never drag uop records
+	// through the cache.
+	dpU     []pipe.Uop
+	dpReady []int64
+	dpHead  int
 
 	missPresent bool
 	missIssued  bool
 	missDone    int64
 	missUop     pipe.Uop
+	redirect    pipe.Uop // stable home for the uop Tick returns on resolve
 
 	// OnCommit, when set, observes every committed (correct-path) uop —
 	// the core uses it for predictor/FTB training and statistics.
@@ -99,70 +104,161 @@ type Backend struct {
 	MispredictsResolved [5]uint64
 }
 
-// New builds a backend.
+// New builds a backend. The decode pipe's backing array is pre-sized to its
+// compaction high-water mark (see fill), so steady-state delivery never
+// allocates.
 func New(cfg Config) *Backend {
 	cfg.setDefaults()
-	return &Backend{cfg: cfg, rob: make([]robEntry, cfg.ROBSize)}
+	return &Backend{
+		cfg:       cfg,
+		robU:      make([]pipe.Uop, cfg.ROBSize),
+		robIssued: make([]bool, cfg.ROBSize),
+		robDone:   make([]int64, cfg.ROBSize),
+		dpU:       make([]pipe.Uop, 0, 5*cfg.PipeCap+8),
+		dpReady:   make([]int64, 0, 5*cfg.PipeCap+8),
+	}
 }
 
 // Config returns the normalised configuration.
 func (b *Backend) Config() Config { return b.cfg }
 
 // Accept returns how many instructions the decode pipe can take this cycle.
-func (b *Backend) Accept() int { return b.cfg.PipeCap - (len(b.dpipe) - b.dpHead) }
+func (b *Backend) Accept() int { return b.cfg.PipeCap - (len(b.dpU) - b.dpHead) }
 
 // Drained reports whether no work remains anywhere in the backend.
-func (b *Backend) Drained() bool { return b.count == 0 && len(b.dpipe) == b.dpHead }
+func (b *Backend) Drained() bool { return b.count == 0 && len(b.dpU) == b.dpHead }
 
 // ROBOccupancy returns the live ROB entry count.
 func (b *Backend) ROBOccupancy() int { return b.count }
 
-// Deliver accepts fetched uops into the decode pipe at cycle now.
+// Deliver accepts fetched uops into the decode pipe at cycle now. (Building
+// uops directly in pipe storage was tried and measured slower: the small
+// caller-owned fetch buffer stays cache-hot, and one streaming copy here
+// beats scattered stores into the pipe's larger ring.)
 func (b *Backend) Deliver(uops []pipe.Uop, now int64) {
-	for _, u := range uops {
-		b.dpipe = append(b.dpipe, pipeEntry{u: u, ready: now + int64(b.cfg.DecodeLatency)})
+	ready := now + int64(b.cfg.DecodeLatency)
+	for i := range uops {
+		b.dpU = append(b.dpU, uops[i])
+		b.dpReady = append(b.dpReady, ready)
 	}
 }
 
 // Tick advances one cycle. It returns the resolved misprediction to redirect
-// on, if any; the backend has already squashed its own younger work, and the
-// caller must repair the front end (FTQ, BPU, prefetcher).
-func (b *Backend) Tick(now int64) (pipe.Uop, bool) {
+// on, or nil; the backend has already squashed its own younger work, and the
+// caller must repair the front end (FTQ, BPU, prefetcher). The returned
+// pointer aliases backend-owned storage valid until the next Tick — a
+// pointer rather than a value so the per-cycle hot path never copies a uop.
+func (b *Backend) Tick(now int64) *pipe.Uop {
 	b.fill(now)
-	redirect, ok := b.resolve(now)
+	redirect := b.resolve(now)
 	b.commit(now)
 	b.issue(now)
-	return redirect, ok
+	return redirect
+}
+
+// idx wraps a ROB position into [0, ROBSize). Positions exceed the size by
+// at most one lap, so a conditional subtract replaces the modulo the hot
+// loops would otherwise pay for.
+func (b *Backend) idx(i int) int {
+	if i >= b.cfg.ROBSize {
+		i -= b.cfg.ROBSize
+	}
+	return i
+}
+
+// NextEvent returns the earliest cycle, at or after now, at which Tick could
+// change backend state or counters: a decoded instruction reaching the ROB
+// (or stalling on a full one), the pending misprediction resolving, the ROB
+// head becoming committable, or any scheduler-window entry's operands turning
+// ready. A return equal to now means the backend is active this cycle;
+// math.MaxInt64 means it is fully drained. The core's cycle-skip scheduler
+// relies on the guarantee that Tick is a pure no-op strictly before the
+// returned cycle, provided no new uops are delivered in between.
+func (b *Backend) NextEvent(now int64) int64 {
+	next := int64(math.MaxInt64)
+	if b.dpHead < len(b.dpU) {
+		r := b.dpReady[b.dpHead]
+		if r <= now {
+			return now // fill moves an entry or counts a ROB-full stall
+		}
+		next = r
+	}
+	if b.missPresent && b.missIssued {
+		if b.missDone <= now {
+			return now
+		}
+		if b.missDone < next {
+			next = b.missDone
+		}
+	}
+	if b.count > 0 {
+		if b.robIssued[b.head] {
+			if b.robDone[b.head] <= now {
+				return now // head commits this cycle
+			}
+			if b.robDone[b.head] < next {
+				next = b.robDone[b.head]
+			}
+		}
+		examined := 0
+		pos := b.idx(b.head + b.issuedPrefix)
+		for i := b.issuedPrefix; i < b.count && examined < b.cfg.IssueWindow; i++ {
+			slot := pos
+			pos = b.idx(pos + 1)
+			if b.robIssued[slot] {
+				continue
+			}
+			examined++
+			t := now
+			if s := b.robU[slot].Instr.Src1; s != isa.NoReg && s != 0 && b.regReady[s] > t {
+				t = b.regReady[s]
+			}
+			if s := b.robU[slot].Instr.Src2; s != isa.NoReg && s != 0 && b.regReady[s] > t {
+				t = b.regReady[s]
+			}
+			if t <= now {
+				return now // an entry could issue this cycle
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+	return next
 }
 
 // fill moves decoded instructions into the ROB.
 func (b *Backend) fill(now int64) {
-	for b.dpHead < len(b.dpipe) && b.dpipe[b.dpHead].ready <= now {
+	for b.dpHead < len(b.dpU) && b.dpReady[b.dpHead] <= now {
 		if b.count == b.cfg.ROBSize {
 			b.ROBFullCycles++
 			return
 		}
-		u := b.dpipe[b.dpHead].u
+		slot := b.idx(b.head + b.count)
+		b.robU[slot] = b.dpU[b.dpHead]
+		b.robIssued[slot] = false
+		b.robDone[slot] = 0
+		b.count++
 		b.dpHead++
-		if b.dpHead == len(b.dpipe) {
-			b.dpipe = b.dpipe[:0]
+		if b.dpHead == len(b.dpU) {
+			b.dpU = b.dpU[:0]
+			b.dpReady = b.dpReady[:0]
 			b.dpHead = 0
 		} else if b.dpHead > 4*b.cfg.PipeCap {
-			// Compact so the backing array stays bounded.
-			n := copy(b.dpipe, b.dpipe[b.dpHead:])
-			b.dpipe = b.dpipe[:n]
+			// Compact so the backing arrays stay bounded.
+			n := copy(b.dpU, b.dpU[b.dpHead:])
+			copy(b.dpReady, b.dpReady[b.dpHead:])
+			b.dpU = b.dpU[:n]
+			b.dpReady = b.dpReady[:n]
 			b.dpHead = 0
 		}
-		idx := (b.head + b.count) % b.cfg.ROBSize
-		b.rob[idx] = robEntry{u: u}
-		b.count++
-		if u.Mispredicted {
+		if u := &b.robU[slot]; u.Mispredicted {
 			if b.missPresent {
 				panic(fmt.Sprintf("backend: second in-flight mispredict (seq %d after %d)", u.Seq, b.missUop.Seq))
 			}
 			b.missPresent = true
 			b.missIssued = false
-			b.missUop = u
+			b.missUop = *u
 		}
 	}
 }
@@ -170,59 +266,72 @@ func (b *Backend) fill(now int64) {
 // resolve fires the pending misprediction once it has executed, squashing
 // everything younger immediately so the same cycle's commit/issue never see
 // dead work.
-func (b *Backend) resolve(now int64) (pipe.Uop, bool) {
+func (b *Backend) resolve(now int64) *pipe.Uop {
 	if b.missPresent && b.missIssued && b.missDone <= now {
 		b.missPresent = false
 		b.MispredictsResolved[b.missUop.MissKind]++
 		b.SquashAfter(b.missUop.Seq)
-		return b.missUop, true
+		b.redirect = b.missUop
+		return &b.redirect
 	}
-	return pipe.Uop{}, false
+	return nil
 }
 
 // commit retires completed instructions in order.
 func (b *Backend) commit(now int64) {
 	for n := 0; n < b.cfg.CommitWidth && b.count > 0; n++ {
-		e := &b.rob[b.head]
-		if !e.issued || e.done > now {
+		if !b.robIssued[b.head] || b.robDone[b.head] > now {
 			return
 		}
-		if !e.u.OnCorrectPath {
+		u := &b.robU[b.head]
+		if !u.OnCorrectPath {
 			// Wrong-path work is removed by SquashAfter, never committed;
 			// reaching here means the redirect protocol was violated.
-			panic(fmt.Sprintf("backend: wrong-path uop seq %d at commit head", e.u.Seq))
+			panic(fmt.Sprintf("backend: wrong-path uop seq %d at commit head", u.Seq))
 		}
 		if b.OnCommit != nil {
-			b.OnCommit(&e.u)
+			b.OnCommit(u)
 		}
 		b.Committed++
-		b.head = (b.head + 1) % b.cfg.ROBSize
+		b.head = b.idx(b.head + 1)
 		b.count--
+		if b.issuedPrefix > 0 {
+			b.issuedPrefix--
+		}
 	}
 }
 
-// issue selects ready instructions within the scheduler window.
+// issue selects ready instructions within the scheduler window. The scan
+// starts past the issued prefix — entries the original head-to-tail walk
+// would skip one by one — which keeps the per-cycle cost proportional to
+// live scheduler work instead of ROB occupancy.
 func (b *Backend) issue(now int64) {
+	for b.issuedPrefix < b.count && b.robIssued[b.idx(b.head+b.issuedPrefix)] {
+		b.issuedPrefix++
+	}
 	issued := 0
 	examined := 0
-	for i := 0; i < b.count && issued < b.cfg.IssueWidth && examined < b.cfg.IssueWindow; i++ {
-		e := &b.rob[(b.head+i)%b.cfg.ROBSize]
-		if e.issued {
+	pos := b.idx(b.head + b.issuedPrefix)
+	for i := b.issuedPrefix; i < b.count && issued < b.cfg.IssueWidth && examined < b.cfg.IssueWindow; i++ {
+		slot := pos
+		pos = b.idx(pos + 1)
+		if b.robIssued[slot] {
 			continue
 		}
 		examined++
-		if !b.ready(e.u.Instr, now) {
+		u := &b.robU[slot]
+		if !b.ready(u.Instr, now) {
 			continue
 		}
-		e.issued = true
-		lat := e.u.Instr.Kind.Latency()
-		e.done = now + int64(lat)
-		if d := e.u.Instr.Dst; d != isa.NoReg && d != 0 {
-			b.regReady[d] = e.done
+		b.robIssued[slot] = true
+		done := now + int64(u.Instr.Kind.Latency())
+		b.robDone[slot] = done
+		if d := u.Instr.Dst; d != isa.NoReg && d != 0 {
+			b.regReady[d] = done
 		}
-		if e.u.Mispredicted && b.missPresent && e.u.Seq == b.missUop.Seq {
+		if u.Mispredicted && b.missPresent && u.Seq == b.missUop.Seq {
 			b.missIssued = true
-			b.missDone = e.done
+			b.missDone = done
 		}
 		b.Issued++
 		issued++
@@ -246,15 +355,19 @@ func (b *Backend) ready(ins isa.Instr, now int64) bool {
 // younger by construction).
 func (b *Backend) SquashAfter(seq uint64) {
 	for b.count > 0 {
-		tail := (b.head + b.count - 1) % b.cfg.ROBSize
-		if b.rob[tail].u.Seq <= seq {
+		tail := b.idx(b.head + b.count - 1)
+		if b.robU[tail].Seq <= seq {
 			break
 		}
 		b.count--
 		b.Squashed++
 	}
-	b.Squashed += uint64(len(b.dpipe) - b.dpHead)
-	b.dpipe = b.dpipe[:0]
+	if b.issuedPrefix > b.count {
+		b.issuedPrefix = b.count
+	}
+	b.Squashed += uint64(len(b.dpU) - b.dpHead)
+	b.dpU = b.dpU[:0]
+	b.dpReady = b.dpReady[:0]
 	b.dpHead = 0
 	// A squashed younger mispredict cannot exist (only one correct-path
 	// mispredict is ever in flight), so missPresent stays untouched unless

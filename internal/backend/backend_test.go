@@ -23,8 +23,8 @@ func smallBackend() *Backend {
 // run drives the backend n cycles starting at cycle start.
 func run(b *Backend, start, n int64) (redirects []pipe.Uop) {
 	for now := start; now < start+n; now++ {
-		if u, ok := b.Tick(now); ok {
-			redirects = append(redirects, u)
+		if u := b.Tick(now); u != nil {
+			redirects = append(redirects, *u)
 		}
 	}
 	return redirects

@@ -96,9 +96,12 @@ type TargetBuffer struct {
 // New creates a target buffer.
 func New(cfg Config) *TargetBuffer {
 	cfg.setDefaults()
+	// One flat backing array sliced per set (see cache.New): constant
+	// allocation count and contiguous tag storage.
+	backing := make([]entry, cfg.Sets*cfg.Ways)
 	sets := make([][]entry, cfg.Sets)
 	for i := range sets {
-		sets[i] = make([]entry, cfg.Ways)
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return &TargetBuffer{cfg: cfg, sets: sets, setShift: uint(bits.TrailingZeros(uint(cfg.Sets)))}
 }

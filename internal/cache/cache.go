@@ -53,6 +53,10 @@ type Config struct {
 	Seed int64
 }
 
+// lazySetThreshold is the total line count above which a cache defers
+// per-set tag storage to first touch (see New).
+const lazySetThreshold = 8192
+
 type line struct {
 	valid      bool
 	tag        uint64
@@ -72,6 +76,10 @@ type Cache struct {
 
 	portCycle int64
 	portsUsed int
+
+	// arena carves storage for lazily allocated sets in chunks, keeping
+	// the allocation count low and touched sets adjacent in memory.
+	arena []line
 
 	// Accesses/Hits/Misses count demand accesses; Probes/ProbeHits count
 	// non-allocating tag checks; Fills/Evictions count line movement;
@@ -102,9 +110,19 @@ func New(cfg Config) *Cache {
 		cfg.TagPorts = 1
 	}
 	sets := make([][]line, numSets)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
+	if numSets*cfg.Ways <= lazySetThreshold {
+		// Small cache: one flat backing array sliced per set — two
+		// allocations total and contiguous memory for the tag walks.
+		backing := make([]line, numSets*cfg.Ways)
+		for i := range sets {
+			sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		}
 	}
+	// Large caches (the megabyte-class L2) leave sets nil until first fill:
+	// a simulation touches a small fraction of the tag array, so skipping
+	// the up-front allocation avoids zeroing megabytes per machine and the
+	// cold-page scatter on every fill. A nil set reads as all-invalid,
+	// which is exactly a cold set's behaviour, so results are unchanged.
 	return &Cache{
 		cfg:       cfg,
 		sets:      sets,
@@ -209,6 +227,14 @@ func (c *Cache) Contains(addr uint64) bool {
 func (c *Cache) Fill(addr uint64, prefetched bool) (evicted uint64, didEvict bool) {
 	si, tag := c.setAndTag(addr)
 	set := c.sets[si]
+	if set == nil {
+		if len(c.arena) < c.cfg.Ways {
+			c.arena = make([]line, c.cfg.Ways*256)
+		}
+		set = c.arena[:c.cfg.Ways:c.cfg.Ways]
+		c.arena = c.arena[c.cfg.Ways:]
+		c.sets[si] = set
+	}
 	c.clock++
 	// Already present: refresh only.
 	for i := range set {

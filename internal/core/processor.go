@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"fdip/internal/backend"
 	"fdip/internal/bpred"
@@ -38,6 +39,12 @@ type Processor struct {
 
 	now int64
 
+	// uopBuf is the caller-owned fetch delivery buffer, reused every cycle;
+	// fillFn is the pre-bound completion callback. Both exist so Step makes
+	// zero heap allocations in steady state.
+	uopBuf []pipe.Uop
+	fillFn func(*memsys.Transfer)
+
 	ftqOcc *stats.Histogram
 	robOcc *stats.Histogram
 
@@ -48,6 +55,19 @@ type Processor struct {
 	lastProgressCycle int64
 	lastProgressCount uint64
 }
+
+// occSampleShift sets the occupancy-sampling cadence: both the FTQ and ROB
+// occupancy histograms sample once every 2^occSampleShift = 64 cycles, on
+// cycles divisible by 64. A shared cadence keeps the two histograms
+// comparable, and a sparse one keeps them exact under cycle-skipping (the
+// scheduler bulk-adds the samples an idle stretch would have produced).
+const occSampleShift = 6
+
+// progressWindow is the deadlock-detection horizon: a run burning this many
+// cycles without committing is reported as an error. The cycle-skip
+// scheduler never jumps past the end of the current window, so detection
+// fires on exactly the same cycle as under per-cycle stepping.
+const progressWindow = 2_000_000
 
 // New assembles a processor over the program image and oracle stream.
 func New(cfg Config, im *program.Image, stream oracle.Stream) (*Processor, error) {
@@ -97,6 +117,8 @@ func New(cfg Config, im *program.Image, stream oracle.Stream) (*Processor, error
 
 	p.ftqOcc = stats.NewHistogram(cfg.FTQEntries+1, 1)
 	p.robOcc = stats.NewHistogram(cfg.Backend.ROBSize+1, 1)
+	p.uopBuf = make([]pipe.Uop, 0, cfg.FetchWidth)
+	p.fillFn = p.fill
 	return p, nil
 }
 
@@ -140,37 +162,45 @@ func (p *Processor) trainTarget(u *pipe.Uop) uint64 {
 	return u.Instr.Target
 }
 
-// Step advances the machine one cycle.
+// fill routes one completed transfer: demand fills (and late-merged
+// prefetches) go to the L1-I, pure prefetches to the prefetch buffer.
+func (p *Processor) fill(tr *memsys.Transfer) {
+	if tr.Prefetch && !tr.DemandMerged {
+		p.pfb.Insert(tr.Line)
+	} else {
+		p.l1i.Fill(tr.Line, tr.Prefetch)
+	}
+}
+
+// Step advances the machine one cycle. It allocates nothing in steady state:
+// memory completions drain through the pooled callback path, and fetched
+// uops land in the processor-owned reusable buffer.
 func (p *Processor) Step() {
 	now := p.now
 
 	// 1. Memory completions: demand fills go to the L1-I, pure prefetches
 	// to the prefetch buffer.
-	for _, tr := range p.hier.CompletedBy(now) {
-		if tr.Prefetch && !tr.DemandMerged {
-			p.pfb.Insert(tr.Line)
-		} else {
-			p.l1i.Fill(tr.Line, tr.Prefetch)
-		}
-	}
+	p.hier.DrainCompleted(now, p.fillFn)
 
 	// 2. Backend: execute, resolve, commit.
-	if u, redirect := p.be.Tick(now); redirect {
+	if u := p.be.Tick(now); u != nil {
 		p.q.Squash()
 		p.pf.OnSquash()
 		p.bpu.RepairAfterMispredict(u.Instr.Kind, u.HistCP, u.RASCP, u.PC, u.ActualTaken)
 		// Resolve-time training closes the FTB learning loop quickly
 		// (commit training alone would lag by the ROB depth).
 		if u.Instr.IsCTI() {
-			p.ftb.TrainBlock(u.BlockStart, u.BlockLen, u.Instr.Kind, p.trainTarget(&u))
+			p.ftb.TrainBlock(u.BlockStart, u.BlockLen, u.Instr.Kind, p.trainTarget(u))
 		}
 		p.bpu.Redirect(u.ActualNextPC, now+int64(p.cfg.RedirectLatency))
 		p.fe.Redirect()
 	}
 
-	// 3. Fetch: demand access + uop delivery.
-	if uops := p.fe.Tick(now, p.be.Accept()); len(uops) > 0 {
-		p.be.Deliver(uops, now)
+	// 3. Fetch: demand access + uop delivery. The small processor-owned
+	// buffer stays hot in cache; Deliver streams it into the decode pipe.
+	p.uopBuf = p.fe.Tick(now, p.be.Accept(), p.uopBuf[:0])
+	if len(p.uopBuf) > 0 {
+		p.be.Deliver(p.uopBuf, now)
 	}
 
 	// 4. BPU: one fetch-block prediction.
@@ -179,11 +209,109 @@ func (p *Processor) Step() {
 	// 5. Prefetch engine.
 	p.pf.Tick(now)
 
-	p.ftqOcc.Add(p.q.Len())
-	if now&63 == 0 {
+	if now&(1<<occSampleShift-1) == 0 {
+		p.ftqOcc.Add(p.q.Len())
 		p.robOcc.Add(p.be.ROBOccupancy())
 	}
 	p.now++
+}
+
+// skipIdle fast-forwards the clock over cycles that are provably uneventful:
+// every component either reports the next cycle it could act (a memory
+// completion, a fetch stall lifting, a backend operand turning ready, the
+// BPU's redirect resume) or is blocked on one of those events. The clock
+// jumps straight to the earliest such cycle, and the per-cycle counters the
+// skipped ticks would have bumped — stall/idle cycles, BPU full-queue
+// stalls, occupancy samples — are added in bulk, so results are
+// bit-identical to per-cycle stepping. When any component could act this
+// cycle the method returns without effect.
+func (p *Processor) skipIdle() {
+	now := p.now
+	target := int64(math.MaxInt64)
+
+	// Fetch engine: acts this cycle unless the stream ended, a demand miss
+	// is outstanding, decode is backpressured, or the FTQ is empty.
+	stallUntil, stalled := p.fe.StallEvent()
+	backendFull := false
+	switch {
+	case p.fe.Exhausted():
+		// Never fetches again; the run ends once the backend drains.
+	case stalled:
+		if stallUntil <= now {
+			return
+		}
+		target = stallUntil
+	case p.be.Accept() <= 0:
+		// Unblocked only by a decode-pipe drain — a backend event below.
+		backendFull = true
+	case p.q.Head() != nil:
+		return // fetch performs a demand access this cycle
+	default:
+		// Empty FTQ: refilled only by the BPU (bounded below) or by a
+		// redirect (a backend event).
+	}
+
+	// BPU: predicts every cycle the queue has room once past its redirect
+	// resume point.
+	bpuReady := now >= p.bpu.NextReady()
+	if !bpuReady {
+		target = min(target, p.bpu.NextReady())
+	} else if !p.q.Full() {
+		return
+	}
+
+	if e := p.be.NextEvent(now); e <= now {
+		return
+	} else {
+		target = min(target, e)
+	}
+	if e := p.pf.NextEvent(now); e <= now {
+		return
+	} else {
+		target = min(target, e)
+	}
+	target = min(target, p.hier.NextCompletion())
+
+	// Never jump past the run's cycle cap or the deadlock-detection
+	// window, so both keep firing on exactly the cycle they would under
+	// per-cycle stepping.
+	target = min(target, p.cfg.MaxCycles, p.lastProgressCycle+progressWindow)
+	if target <= now {
+		return
+	}
+	n := uint64(target - now)
+
+	// Bulk-account the per-cycle counters the skipped ticks would have
+	// bumped, replicating each tick's own priority order.
+	switch {
+	case p.fe.Exhausted():
+	case stalled:
+		p.fe.StallCycles += n
+	case backendFull:
+		p.fe.BackendFull += n
+	default:
+		p.fe.IdleNoFTQ += n
+	}
+	if bpuReady && p.q.Full() {
+		p.bpu.FullStalls += n
+	}
+	p.pf.OnSkip(n)
+	if k := occSamplesIn(now, target); k > 0 {
+		p.ftqOcc.AddN(p.q.Len(), k)
+		p.robOcc.AddN(p.be.ROBOccupancy(), k)
+	}
+	p.now = target
+}
+
+// occSamplesIn counts the occupancy sample points (cycles divisible by
+// 2^occSampleShift) in the half-open cycle range [from, to).
+func occSamplesIn(from, to int64) uint64 {
+	const mask = int64(1)<<occSampleShift - 1
+	first := (from + mask) &^ mask
+	if first >= to {
+		return 0
+	}
+	return uint64((to-1-first)>>occSampleShift) + 1
 }
 
 // Run executes until MaxInstrs commit, MaxCycles elapse, or a trace stream
@@ -198,20 +326,31 @@ func (p *Processor) Run() Result {
 }
 
 // RunContext is Run with cooperative cancellation: the loop polls ctx every
-// 1024 cycles and returns ctx.Err() on cancellation or deadline expiry. A
-// simulator deadlock (no commit progress) is returned as an error instead of
-// panicking.
+// 1024 iterations and returns ctx.Err() on cancellation or deadline expiry.
+// A simulator deadlock (no commit progress) is returned as an error instead
+// of panicking.
+//
+// The loop is event-scheduled: after each stepped cycle it asks every
+// component for its next interesting cycle and fast-forwards idle stretches
+// (fetch stalled on a miss, FTQ full, backend waiting on operands, next
+// memory completion cycles away) in one jump. Results are bit-identical to
+// stepping every cycle; only wall-clock time changes.
 func (p *Processor) RunContext(ctx context.Context) (Result, error) {
 	done := ctx.Done()
+	var iter uint64
 	for p.be.Committed < p.cfg.MaxInstrs && p.now < p.cfg.MaxCycles {
 		if p.fe.Exhausted() && p.be.Drained() {
 			break
 		}
 		p.Step()
+		if p.be.Committed < p.cfg.MaxInstrs && !(p.fe.Exhausted() && p.be.Drained()) {
+			p.skipIdle()
+		}
 		if err := p.progressErr(); err != nil {
 			return Result{}, err
 		}
-		if done != nil && p.now&1023 == 0 {
+		iter++
+		if done != nil && iter&1023 == 0 {
 			select {
 			case <-done:
 				return Result{}, ctx.Err()
@@ -225,7 +364,7 @@ func (p *Processor) RunContext(ctx context.Context) (Result, error) {
 // progressErr reports a simulator deadlock — the machine burning cycles
 // without committing — as an error.
 func (p *Processor) progressErr() error {
-	const window = 2_000_000
+	const window = progressWindow
 	if p.now-p.lastProgressCycle < window {
 		return nil
 	}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fdip/internal/oracle"
+	"fdip/internal/prefetch"
+)
+
+// runNaive drives a processor with the pre-scheduler per-cycle loop: Step
+// every cycle, no idle skipping. It is the reference semantics the
+// event-scheduled kernel must reproduce bit-identically.
+func runNaive(p *Processor) Result {
+	for p.be.Committed < p.cfg.MaxInstrs && p.now < p.cfg.MaxCycles {
+		if p.fe.Exhausted() && p.be.Drained() {
+			break
+		}
+		p.Step()
+	}
+	return p.Finalize()
+}
+
+// schedConfigs covers every prefetcher (each has its own NextEvent logic)
+// plus the perfect-L1I fetch path and a saturating stream machine.
+func schedConfigs() map[string]Config {
+	mk := func(mut func(*Config)) Config {
+		cfg := DefaultConfig()
+		cfg.MaxInstrs = 60_000
+		mut(&cfg)
+		return cfg
+	}
+	return map[string]Config{
+		"none": mk(func(*Config) {}),
+		"fdp": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchFDP
+		}),
+		"fdp+cpf+remove": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchFDP
+			c.Prefetch.FDP.CPF = prefetch.CPFConservative
+			c.Prefetch.FDP.RemoveCPF = true
+		}),
+		"nextline": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchNextLine
+		}),
+		"stream": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchStream
+		}),
+		"perfect": mk(func(c *Config) {
+			c.PerfectL1I = true
+		}),
+		"slow-mem": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchFDP
+			c.Mem.MemLatency = 300
+			c.MaxInstrs = 30_000
+		}),
+	}
+}
+
+// TestScheduledKernelMatchesNaive is the bit-identity contract of the
+// event-scheduled kernel: fast-forwarding idle stretches must produce
+// exactly the Result that stepping every cycle does — same cycle count,
+// same every counter, same histogram-derived occupancies.
+func TestScheduledKernelMatchesNaive(t *testing.T) {
+	for name, cfg := range schedConfigs() {
+		t.Run(name, func(t *testing.T) {
+			im := testImage(t, 7, 120)
+			naive := MustNew(cfg, im, oracle.NewWalker(im, 42))
+			want := runNaive(naive)
+
+			sched := MustNew(cfg, im, oracle.NewWalker(im, 42))
+			got, err := sched.RunContext(context.Background())
+			if err != nil {
+				t.Fatalf("scheduled run: %v", err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("scheduled result diverged from naive stepping:\nnaive: %+v\nsched: %+v", want, got)
+			}
+			if want.Cycles == 0 || want.Committed < cfg.MaxInstrs {
+				t.Fatalf("reference run did not complete: %+v", want)
+			}
+		})
+	}
+}
+
+// TestSkipIdleActuallySkips guards the performance property: on a machine
+// dominated by memory stalls, the scheduled run must take far fewer loop
+// iterations (observable as Step invocations) than cycles. We approximate by
+// checking that a full run completes with the same result while the fetch
+// stall/idle counters — which only bulk-accounting can reach in so few
+// iterations — stay identical to the naive run above. Here we just assert
+// the skip path engages at all on a cold machine.
+func TestSkipIdleActuallySkips(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 5_000
+	im := testImage(t, 3, 60)
+	p := MustNew(cfg, im, oracle.NewWalker(im, 5))
+
+	// Prime until the machine is genuinely idle: fetch stalled on a cold
+	// miss AND the BPU has run ahead into a full FTQ. From there skipIdle
+	// must jump toward the stall's end.
+	for p.now < 1000 {
+		_, stalled := p.fe.StallEvent()
+		if stalled && p.q.Full() {
+			break
+		}
+		p.Step()
+	}
+	before := p.now
+	p.skipIdle()
+	if p.now == before {
+		t.Fatalf("skipIdle did not advance past a cold-miss stall at cycle %d", before)
+	}
+	if until, stalled := p.fe.StallEvent(); !stalled || p.now > until {
+		t.Fatalf("skip overshot the stall: now=%d stallUntil=%d stalled=%v", p.now, until, stalled)
+	}
+}
+
+// TestStepAllocFreeSteadyState pins the zero-allocation contract of the
+// cycle kernel at the core level (the public-API twin lives in the root
+// package): after warm-up, Step must not allocate.
+func TestStepAllocFreeSteadyState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Prefetch.Kind = PrefetchFDP
+	cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+	cfg.MaxInstrs = 1 << 62
+	im := testImage(t, 9, 60)
+	p := MustNew(cfg, im, oracle.NewWalker(im, 17))
+	for i := 0; i < 300_000; i++ {
+		p.Step()
+	}
+	if avg := testing.AllocsPerRun(2000, func() { p.Step() }); avg != 0 {
+		t.Fatalf("Processor.Step allocates %.2f times per cycle in steady state; want 0", avg)
+	}
+}

@@ -59,6 +59,12 @@ type RunOutcome struct {
 	Cached bool `json:"cached"`
 	// Elapsed is wall time spent obtaining the result.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// CyclesPerSec is the simulation throughput (simulated cycles per
+	// second of simulation wall time, measured after a worker slot and
+	// the program image were acquired) of a freshly simulated job — the
+	// kernel-speed metric performance work tracks. Zero for cached or
+	// failed outcomes.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
 // Stats is a snapshot of engine counters.
@@ -103,7 +109,11 @@ type resultKey struct {
 type resultCall struct {
 	done chan struct{}
 	res  core.Result
-	err  error
+	// simDur is wall time spent inside the simulation proper (after the
+	// worker slot and image were acquired) — the denominator of
+	// RunOutcome.CyclesPerSec.
+	simDur time.Duration
+	err    error
 }
 
 // Option configures an Engine.
@@ -309,7 +319,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) RunOutcome {
 			return fail(call.err)
 		}
 
-		call.res, call.err = e.simulate(ctx, job, cfg, params)
+		call.res, call.simDur, call.err = e.simulate(ctx, job, cfg, params)
 		e.mu.Lock()
 		if call.err != nil {
 			// Do not cache failures (a cancellation must not poison
@@ -325,6 +335,9 @@ func (e *Engine) runJob(ctx context.Context, job Job) RunOutcome {
 			return fail(call.err)
 		}
 		out := RunOutcome{Job: job, Result: call.res, Elapsed: time.Since(start)}
+		if s := call.simDur.Seconds(); s > 0 {
+			out.CyclesPerSec = float64(out.Result.Cycles) / s
+		}
 		e.emit(Event{Kind: EventJobDone, Job: job, Result: &out.Result, Elapsed: out.Elapsed})
 		return out
 	}
@@ -334,22 +347,27 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// simulate builds the machine and runs it under a worker slot.
-func (e *Engine) simulate(ctx context.Context, job Job, cfg core.Config, params program.Params) (core.Result, error) {
+// simulate builds the machine and runs it under a worker slot. The returned
+// duration covers only the simulation proper (machine construction and run),
+// excluding the wait for a worker slot and image generation, so
+// CyclesPerSec reflects kernel speed even when a sweep queues jobs.
+func (e *Engine) simulate(ctx context.Context, job Job, cfg core.Config, params program.Params) (core.Result, time.Duration, error) {
 	if err := e.acquire(ctx); err != nil {
-		return core.Result{}, err
+		return core.Result{}, 0, err
 	}
 	defer e.release()
 	im, err := e.images.Get(ctx, params)
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, 0, err
 	}
 	e.emit(Event{Kind: EventJobStarted, Job: job})
+	start := time.Now()
 	p, err := core.New(cfg, im, oracle.NewWalker(im, job.Seed))
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, 0, err
 	}
-	return p.RunContext(ctx)
+	res, err := p.RunContext(ctx)
+	return res, time.Since(start), err
 }
 
 // acquire takes a worker slot, abandoning the wait on cancellation.

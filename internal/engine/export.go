@@ -11,16 +11,18 @@ import (
 // outcomeJSON is the wire form of RunOutcome: errors flatten to strings so
 // downstream tooling gets machine-readable failures.
 type outcomeJSON struct {
-	Job     Job         `json:"job"`
-	Result  core.Result `json:"result"`
-	Error   string      `json:"error,omitempty"`
-	Cached  bool        `json:"cached"`
-	Elapsed int64       `json:"elapsed_ns"`
+	Job          Job         `json:"job"`
+	Result       core.Result `json:"result"`
+	Error        string      `json:"error,omitempty"`
+	Cached       bool        `json:"cached"`
+	Elapsed      int64       `json:"elapsed_ns"`
+	CyclesPerSec float64     `json:"cycles_per_sec,omitempty"`
 }
 
 // MarshalJSON encodes the outcome with its error (if any) as a string.
 func (o RunOutcome) MarshalJSON() ([]byte, error) {
-	j := outcomeJSON{Job: o.Job, Result: o.Result, Cached: o.Cached, Elapsed: int64(o.Elapsed)}
+	j := outcomeJSON{Job: o.Job, Result: o.Result, Cached: o.Cached,
+		Elapsed: int64(o.Elapsed), CyclesPerSec: o.CyclesPerSec}
 	if o.Err != nil {
 		j.Error = o.Err.Error()
 	}
@@ -34,7 +36,8 @@ func (o *RunOutcome) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return err
 	}
-	*o = RunOutcome{Job: j.Job, Result: j.Result, Cached: j.Cached, Elapsed: time.Duration(j.Elapsed)}
+	*o = RunOutcome{Job: j.Job, Result: j.Result, Cached: j.Cached,
+		Elapsed: time.Duration(j.Elapsed), CyclesPerSec: j.CyclesPerSec}
 	if j.Error != "" {
 		o.Err = jsonError(j.Error)
 	}

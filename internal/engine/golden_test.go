@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"fdip/internal/core"
+	"fdip/internal/prefetch"
+)
+
+// goldenChecksum is the FNV-64a digest of the full %+v rendering of the
+// Result for the fixed (config, workload, seed) triple below, recorded when
+// the event-scheduled cycle kernel landed. Simulation is pure deterministic
+// arithmetic, so this value must never drift — across runs, worker counts,
+// or future kernel optimisations. If an intentional model change shifts it,
+// re-record the constant in the same commit and say so loudly in the commit
+// message; an unintentional shift is a determinism regression.
+const goldenChecksum = 0x47bbeda2da5f243e
+
+func goldenJob() Job {
+	cfg := core.DefaultConfig()
+	cfg.MaxInstrs = 150_000
+	cfg.Prefetch.Kind = core.PrefetchFDP
+	cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+	return Job{Workload: "gcc", Config: cfg} // seed resolves to gcc's calibrated seed
+}
+
+func resultChecksum(res core.Result) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", res)
+	return h.Sum64()
+}
+
+// TestGoldenResultChecksum pins bit-exact reproducibility of the kernel on a
+// fixed simulation point, across engine worker counts.
+func TestGoldenResultChecksum(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 8} {
+		res, err := New(WithWorkers(workers)).Run(ctx, goldenJob())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := resultChecksum(res); got != goldenChecksum {
+			t.Errorf("workers=%d: result checksum %#x, want %#x — the kernel no longer reproduces the golden result bit-identically (cycles=%d ipc=%.4f)",
+				workers, got, goldenChecksum, res.Cycles, res.IPC)
+		}
+	}
+}
+
+// TestGoldenSweepIdenticalAcrossWorkerCounts runs a small mixed sweep at
+// several worker counts and requires byte-identical results, including the
+// golden point.
+func TestGoldenSweepIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := core.DefaultConfig()
+	base.MaxInstrs = 40_000
+	fdp := base
+	fdp.Prefetch.Kind = core.PrefetchFDP
+	jobs := []Job{
+		{Workload: "gcc", Config: base},
+		{Workload: "gcc", Config: fdp},
+		{Workload: "perl", Config: fdp},
+		{Workload: "vortex", Config: base},
+	}
+	ctx := context.Background()
+	ref, err := New(WithWorkers(1)).Sweep(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		outs, err := New(WithWorkers(workers)).Sweep(ctx, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range outs {
+			if outs[i].Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, outs[i].Err)
+			}
+			if a, b := resultChecksum(ref[i].Result), resultChecksum(outs[i].Result); a != b {
+				t.Errorf("workers=%d job %q: checksum %#x != 1-worker %#x", workers, outs[i].Job.Name, b, a)
+			}
+		}
+	}
+}

@@ -49,13 +49,20 @@ func NewBPU(ftb *btb.TargetBuffer, dir bpred.Predictor, ras *bpred.RAS, q *ftq.Q
 // PC returns the BPU's next prediction address.
 func (b *BPU) PC() uint64 { return b.pc }
 
+// NextReady returns the earliest cycle the BPU may predict again (the
+// redirect resume time). Before that cycle Tick is a pure no-op; from it on,
+// the BPU predicts every cycle the FTQ has room.
+func (b *BPU) NextReady() int64 { return b.next }
+
 // Redirect points the BPU at pc; prediction resumes at cycle resume.
 func (b *BPU) Redirect(pc uint64, resume int64) {
 	b.pc = pc
 	b.next = resume
 }
 
-// Tick makes one fetch-block prediction into the FTQ.
+// Tick makes one fetch-block prediction into the FTQ. The block is built
+// in place in the queue slot (PushSlot/CommitPush), so the per-cycle hot
+// path never copies a Block.
 func (b *BPU) Tick(now int64) {
 	if now < b.next {
 		return
@@ -68,13 +75,12 @@ func (b *BPU) Tick(now int64) {
 	rasCP := b.ras.Checkpoint()
 
 	pred, hit := b.ftb.PredictBlock(b.pc)
-	blk := ftq.Block{
-		Seq:    b.seq,
-		Start:  b.pc,
-		FTBHit: hit,
-		HistCP: histCP,
-		RASCP:  rasCP,
-	}
+	blk := b.q.PushSlot() // non-nil: fullness checked above
+	blk.Seq = b.seq
+	blk.Start = b.pc
+	blk.FTBHit = hit
+	blk.HistCP = histCP
+	blk.RASCP = rasCP
 	b.seq++
 
 	if !hit {
@@ -82,7 +88,7 @@ func (b *BPU) Tick(now int64) {
 		// going; a hidden taken CTI will surface as a misprediction.
 		blk.NumInstrs = b.maxBlock
 		b.FTBMisses++
-		b.q.Push(blk)
+		b.q.CommitPush()
 		b.Blocks++
 		b.pc = blk.End()
 		return
@@ -113,7 +119,7 @@ func (b *BPU) Tick(now int64) {
 		}
 	}
 
-	b.q.Push(blk)
+	b.q.CommitPush()
 	b.Blocks++
 	if blk.PredTaken {
 		b.pc = blk.PredTarget

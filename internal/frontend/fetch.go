@@ -36,8 +36,8 @@ type FetchEngine struct {
 	seq       uint64
 	cur       oracle.Record
 	exhausted bool
-
-	outBuf []pipe.Uop // reused delivery buffer
+	// nextInto is the stream's copy-free advance, when it offers one.
+	nextInto func(*oracle.Record) bool
 
 	// DemandAccesses counts L1-I demand lookups; L1Hits and PFBHits their
 	// outcomes; FullMisses lookups that went to the L2 (LateMerges of
@@ -74,17 +74,33 @@ func newFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, l1i *
 		im: im, stream: stream, q: q, l1i: l1i, pfb: pfb, hier: hier,
 		width: width, notify: notify, perfect: perfect,
 	}
-	f.cur, f.exhausted = nextOrDone(stream)
+	if is, ok := stream.(interface{ NextInto(*oracle.Record) bool }); ok {
+		f.nextInto = is.NextInto
+	}
+	f.advance()
 	return f
 }
 
-func nextOrDone(s oracle.Stream) (oracle.Record, bool) {
-	rec, ok := s.Next()
-	return rec, !ok
+// advance pulls the next oracle record into f.cur, using the stream's
+// copy-free path when it has one.
+func (f *FetchEngine) advance() {
+	if f.nextInto != nil {
+		f.exhausted = !f.nextInto(&f.cur)
+		return
+	}
+	rec, ok := f.stream.Next()
+	f.cur, f.exhausted = rec, !ok
 }
 
 // Exhausted reports whether the oracle stream ended (trace replay only).
 func (f *FetchEngine) Exhausted() bool { return f.exhausted }
+
+// StallEvent reports whether fetch is blocked on an outstanding demand miss,
+// and the cycle the stall lifts. The core's cycle-skip scheduler uses it:
+// while stalled, Tick only counts stall cycles until that cycle arrives.
+func (f *FetchEngine) StallEvent() (until int64, stalled bool) {
+	return f.stallUntil, f.stalled
+}
 
 // Seq returns the next uop sequence number.
 func (f *FetchEngine) Seq() uint64 { return f.seq }
@@ -98,28 +114,32 @@ func (f *FetchEngine) Redirect() {
 	f.stalled = false
 }
 
-// Tick fetches from the FTQ head. accept is the backend's remaining decode
-// capacity; the returned uops (nil most cycles a miss is outstanding) were
-// delivered this cycle and their count never exceeds accept.
-func (f *FetchEngine) Tick(now int64, accept int) []pipe.Uop {
+// Tick fetches from the FTQ head into buf, which the caller owns and reuses
+// across cycles (pass it re-sliced to length zero). accept is the backend's
+// remaining decode capacity. It returns buf extended with the uops delivered
+// this cycle — empty most cycles a miss is outstanding — never exceeding
+// accept; appends stay within the caller's capacity when buf can hold the
+// fetch width, so the hot path performs no allocation.
+func (f *FetchEngine) Tick(now int64, accept int, buf []pipe.Uop) []pipe.Uop {
+	out := buf
 	if f.exhausted {
-		return nil
+		return out
 	}
 	if f.stalled {
 		if now < f.stallUntil {
 			f.StallCycles++
-			return nil
+			return out
 		}
 		f.stalled = false
 	}
 	if accept <= 0 {
 		f.BackendFull++
-		return nil
+		return out
 	}
 	b := f.q.Head()
 	if b == nil {
 		f.IdleNoFTQ++
-		return nil
+		return out
 	}
 	pc := b.NextFetchPC()
 	line := f.l1i.LineAddr(pc)
@@ -157,49 +177,61 @@ func (f *FetchEngine) Tick(now int64, accept int) []pipe.Uop {
 		if f.notify != nil {
 			f.notify(line, false, false, now)
 		}
-		return nil
+		return out
 	}
 
 	// Deliver instructions from this line, bounded by fetch width, block
-	// end, line end, and backend capacity. The buffer is reused; callers
-	// must consume it before the next Tick.
-	out := f.outBuf[:0]
+	// end, line end, and backend capacity.
 	for len(out) < f.width && len(out) < accept && !b.Done() {
 		if f.l1i.LineAddr(pc) != line {
 			break
 		}
-		u, stop := f.buildUop(pc, b, now)
-		if stop {
-			return out
+		// Extend without zeroing where capacity allows: buildUop assigns
+		// every field, so stale slot contents never leak.
+		if len(out) < cap(out) {
+			out = out[:len(out)+1]
+		} else {
+			out = append(out, pipe.Uop{})
 		}
-		out = append(out, u)
+		if f.buildUop(pc, b, now, &out[len(out)-1]) {
+			return out[:len(out)-1]
+		}
 		b.FetchedInstrs++
 		pc = b.NextFetchPC()
 	}
 	if b.Done() {
 		f.q.PopHead()
 	}
-	f.Delivered += uint64(len(out))
-	f.outBuf = out
+	f.Delivered += uint64(len(out) - len(buf))
 	return out
 }
 
-// buildUop constructs the dynamic record for the instruction at pc within
-// block b, tagging it against the oracle stream. stop is true when the
-// oracle stream is exhausted (trace replay end).
-func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64) (pipe.Uop, bool) {
-	u := pipe.Uop{
-		Seq:        f.seq,
-		PC:         pc,
-		FetchCycle: now,
-		BlockStart: b.Start,
-		BlockLen:   b.FetchedInstrs + 1,
-		FTBHit:     b.FTBHit,
-		HistCP:     b.HistCP,
-		RASCP:      b.RASCP,
-	}
-	ins, ok := f.im.InstrAt(pc)
-	if !ok {
+// buildUop fills u, the dynamic record for the instruction at pc within
+// block b, tagging it against the oracle stream. It writes into caller
+// storage (the delivery buffer slot) so the hot path never copies a whole
+// uop; every field is assigned, so the slot needs no prior zeroing. stop is
+// true when the oracle stream is exhausted (trace replay end).
+func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64, u *pipe.Uop) (stop bool) {
+	u.Seq = f.seq
+	u.PC = pc
+	u.FetchCycle = now
+	u.BlockStart = b.Start
+	u.BlockLen = b.FetchedInstrs + 1
+	u.FTBHit = b.FTBHit
+	u.HistCP = b.HistCP
+	u.RASCP = b.RASCP
+	u.OnCorrectPath = false
+	u.ActualTaken = false
+	u.ActualNextPC = 0
+	u.Mispredicted = false
+	u.MissKind = pipe.MissNone
+	var ins isa.Instr
+	if !f.diverged && !f.exhausted && f.cur.PC == pc {
+		// Correct path: the oracle already decoded this instruction.
+		ins = f.cur.Instr
+	} else if decoded, ok := f.im.InstrAt(pc); ok {
+		ins = decoded
+	} else {
 		// Wrong-path fetch ran past the code image; hardware would fetch
 		// garbage, we deliver phantom nops until the redirect arrives.
 		ins = isa.Instr{Kind: isa.Nop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
@@ -217,11 +249,11 @@ func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64) (pipe.Uop, bo
 	if f.diverged {
 		f.WrongPath++
 		f.seq++
-		return u, false
+		return false
 	}
 
 	if f.exhausted {
-		return u, true
+		return true
 	}
 	rec := f.cur
 	if rec.PC != pc {
@@ -235,9 +267,9 @@ func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64) (pipe.Uop, bo
 		u.MissKind = classifyMiss(ins.Kind, isTerminator && b.EndsInCTI, b.PredTaken, rec.Taken)
 		f.diverged = true
 	}
-	f.cur, f.exhausted = nextOrDone(f.stream)
+	f.advance()
 	f.seq++
-	return u, false
+	return false
 }
 
 // classifyMiss names the misprediction cause.

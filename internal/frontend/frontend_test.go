@@ -243,7 +243,7 @@ func (r *fetchRig) step(now int64) []uopLite {
 			r.l1i.Fill(tr.Line, tr.Prefetch)
 		}
 	}
-	uops := r.fe.Tick(now, 16)
+	uops := r.fe.Tick(now, 16, nil)
 	r.bpu.bpu.Tick(now)
 	out := make([]uopLite, 0, len(uops))
 	for _, u := range uops {
@@ -295,7 +295,7 @@ func TestFetchStallsOnMissThenResumes(t *testing.T) {
 	rig := newFetchRig(t, im, nil)
 	rig.bpu.bpu.Tick(0) // prime FTQ
 
-	got := rig.fe.Tick(1, 16)
+	got := rig.fe.Tick(1, 16, nil)
 	if len(got) != 0 {
 		t.Fatalf("delivered %d uops through a cold cache", len(got))
 	}
@@ -320,7 +320,7 @@ func TestFetchPFBHitMovesLineToL1(t *testing.T) {
 	rig := newFetchRig(t, im, nil)
 	rig.pfb.Insert(0x1000)
 	rig.bpu.bpu.Tick(0)
-	uops := rig.fe.Tick(1, 16)
+	uops := rig.fe.Tick(1, 16, nil)
 	if len(uops) == 0 {
 		t.Fatal("PFB hit did not deliver")
 	}
@@ -376,14 +376,14 @@ func TestFetchBackendFullBackpressure(t *testing.T) {
 	rig := newFetchRig(t, im, nil)
 	rig.l1i.Fill(0x1000, false)
 	rig.bpu.bpu.Tick(0)
-	if got := rig.fe.Tick(1, 0); got != nil {
+	if got := rig.fe.Tick(1, 0, nil); len(got) != 0 {
 		t.Fatalf("delivered %d uops with zero accept", len(got))
 	}
 	if rig.fe.BackendFull != 1 {
 		t.Errorf("BackendFull = %d", rig.fe.BackendFull)
 	}
 	// accept=2 limits the delivery burst.
-	got := rig.fe.Tick(2, 2)
+	got := rig.fe.Tick(2, 2, nil)
 	if len(got) > 2 {
 		t.Errorf("delivered %d uops with accept=2", len(got))
 	}
@@ -392,7 +392,7 @@ func TestFetchBackendFullBackpressure(t *testing.T) {
 func TestFetchIdleWithoutFTQ(t *testing.T) {
 	im := loopImage(t)
 	rig := newFetchRig(t, im, nil)
-	rig.fe.Tick(0, 16)
+	rig.fe.Tick(0, 16, nil)
 	if rig.fe.IdleNoFTQ != 1 {
 		t.Errorf("IdleNoFTQ = %d", rig.fe.IdleNoFTQ)
 	}

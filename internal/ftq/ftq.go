@@ -125,6 +125,15 @@ func New(capacity, lineSize int) *Queue {
 // Cap returns the queue capacity.
 func (q *Queue) Cap() int { return len(q.entries) }
 
+// wrap folds a position into [0, cap). Positions exceed the capacity by at
+// most one lap, so a conditional subtract replaces a modulo on hot paths.
+func (q *Queue) wrap(i int) int {
+	if i >= len(q.entries) {
+		i -= len(q.entries)
+	}
+	return i
+}
+
 // Len returns the number of queued blocks.
 func (q *Queue) Len() int { return q.count }
 
@@ -139,24 +148,47 @@ func (q *Queue) LineSize() int { return q.lineSize }
 
 // Push appends a block, computing its line decomposition. It returns false
 // (and counts a stall) when the queue is full. The slot's previous line
-// buffer is reused, so steady-state pushes do not allocate.
+// buffer is reused, so steady-state pushes do not allocate. Hot callers that
+// want to avoid copying the block twice should use PushSlot/CommitPush.
 func (q *Queue) Push(b Block) bool {
-	if q.Full() {
-		q.FullStalls++
+	s := q.PushSlot()
+	if s == nil {
 		return false
 	}
-	idx := (q.head + q.count) % len(q.entries)
-	lines := q.entries[idx].Lines[:0]
+	lines := s.Lines
+	*s = b
+	s.Lines = lines
+	q.CommitPush()
+	return true
+}
+
+// PushSlot begins an in-place push: it reserves the next queue slot and
+// returns it zeroed (with its reusable line buffer retained, reset to length
+// zero), or nil — counting a stall — when the queue is full. The caller
+// fills the block's fields and must then call CommitPush, which derives the
+// slot's cache-line decomposition and makes it visible. Nothing else may
+// touch the queue in between.
+func (q *Queue) PushSlot() *Block {
+	if q.Full() {
+		q.FullStalls++
+		return nil
+	}
+	b := &q.entries[q.wrap(q.head+q.count)]
+	lines := b.Lines[:0]
+	*b = Block{Lines: lines}
+	return b
+}
+
+// CommitPush completes a push started with PushSlot.
+func (q *Queue) CommitPush() {
+	b := &q.entries[q.wrap(q.head+q.count)]
 	first := b.Start &^ uint64(q.lineSize-1)
 	last := (b.End() - 1) &^ uint64(q.lineSize-1)
 	for addr := first; addr <= last; addr += uint64(q.lineSize) {
-		lines = append(lines, Line{Addr: addr, State: LineCandidate})
+		b.Lines = append(b.Lines, Line{Addr: addr, State: LineCandidate})
 	}
-	b.Lines = lines
-	q.entries[idx] = b
 	q.count++
 	q.Pushed++
-	return true
 }
 
 // Head returns the fetch point, or nil when empty.
@@ -173,7 +205,7 @@ func (q *Queue) At(i int) *Block {
 	if i < 0 || i >= q.count {
 		return nil
 	}
-	return &q.entries[(q.head+i)%len(q.entries)]
+	return &q.entries[q.wrap(q.head+i)]
 }
 
 // PopHead removes the fetch point after the fetch engine consumes it.
@@ -181,7 +213,7 @@ func (q *Queue) PopHead() {
 	if q.count == 0 {
 		return
 	}
-	q.head = (q.head + 1) % len(q.entries)
+	q.head = q.wrap(q.head + 1)
 	q.count--
 }
 

@@ -11,7 +11,7 @@ package memsys
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"fdip/internal/cache"
 )
@@ -81,16 +81,28 @@ type Transfer struct {
 	DemandMerged bool
 	// FromL2 reports whether the line hit in the L2.
 	FromL2 bool
+
+	// seq orders completions with equal Done cycles (request order), making
+	// the completion queue fully deterministic.
+	seq uint64
 }
 
 // Hierarchy is the L2 + bus + memory model.
+//
+// In-flight transfers live in a min-heap keyed by (Done, request order), so
+// draining completions is O(log n) per completed transfer and free when
+// nothing has completed. Transfer records are pooled: DrainCompleted recycles
+// each record after delivery, so the steady-state hot path performs no heap
+// allocation.
 type Hierarchy struct {
 	cfg Config
 	l2  *cache.Cache
 
 	busFreeAt int64
 	inflight  map[uint64]*Transfer
-	pending   []*Transfer
+	queue     []*Transfer // min-heap on (Done, seq)
+	free      []*Transfer // recycled Transfer records
+	seq       uint64
 
 	// BusBusyCycles accumulates bus occupancy for utilisation reports.
 	BusBusyCycles uint64
@@ -172,14 +184,17 @@ func (h *Hierarchy) Request(line uint64, prefetch bool, now int64) *Transfer {
 		lat += h.cfg.MemLatency
 		h.l2.Fill(line, prefetch)
 	}
-	t := &Transfer{
+	t := h.alloc()
+	*t = Transfer{
 		Line:     line,
 		Done:     start + int64(lat),
 		Prefetch: prefetch,
 		FromL2:   hit,
+		seq:      h.seq,
 	}
+	h.seq++
 	h.inflight[line] = t
-	h.pending = append(h.pending, t)
+	h.push(t)
 	if prefetch {
 		h.PrefetchRequests++
 		if hit {
@@ -198,26 +213,112 @@ func (h *Hierarchy) Request(line uint64, prefetch bool, now int64) *Transfer {
 	return t
 }
 
-// CompletedBy removes and returns all transfers finished at or before now,
-// in completion order.
-func (h *Hierarchy) CompletedBy(now int64) []*Transfer {
-	var done []*Transfer
-	rest := h.pending[:0]
-	for _, t := range h.pending {
-		if t.Done <= now {
-			done = append(done, t)
-			delete(h.inflight, t.Line)
-		} else {
-			rest = append(rest, t)
-		}
+// alloc takes a Transfer record from the free pool, or makes one.
+func (h *Hierarchy) alloc() *Transfer {
+	if n := len(h.free); n > 0 {
+		t := h.free[n-1]
+		h.free = h.free[:n-1]
+		return t
 	}
-	h.pending = rest
-	sort.Slice(done, func(i, j int) bool { return done[i].Done < done[j].Done })
-	return done
+	return new(Transfer)
 }
 
+// transferLess orders the completion heap: earliest Done first, request
+// order breaking ties.
+func transferLess(a, b *Transfer) bool {
+	return a.Done < b.Done || (a.Done == b.Done && a.seq < b.seq)
+}
+
+// push inserts a transfer into the completion heap.
+func (h *Hierarchy) push(t *Transfer) {
+	h.queue = append(h.queue, t)
+	i := len(h.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !transferLess(h.queue[i], h.queue[parent]) {
+			break
+		}
+		h.queue[i], h.queue[parent] = h.queue[parent], h.queue[i]
+		i = parent
+	}
+}
+
+// popCompleted removes and returns the earliest transfer finished at or
+// before now, or nil when none has.
+func (h *Hierarchy) popCompleted(now int64) *Transfer {
+	if len(h.queue) == 0 || h.queue[0].Done > now {
+		return nil
+	}
+	t := h.queue[0]
+	last := len(h.queue) - 1
+	h.queue[0] = h.queue[last]
+	h.queue[last] = nil
+	h.queue = h.queue[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.queue) && transferLess(h.queue[l], h.queue[smallest]) {
+			smallest = l
+		}
+		if r < len(h.queue) && transferLess(h.queue[r], h.queue[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.queue[i], h.queue[smallest] = h.queue[smallest], h.queue[i]
+		i = smallest
+	}
+	delete(h.inflight, t.Line)
+	return t
+}
+
+// DrainCompleted delivers every transfer finished at or before now, in
+// completion order, then recycles its record. The *Transfer passed to deliver
+// is valid only for the duration of the call — the zero-allocation delivery
+// path for the cycle kernel.
+func (h *Hierarchy) DrainCompleted(now int64, deliver func(*Transfer)) {
+	for {
+		t := h.popCompleted(now)
+		if t == nil {
+			return
+		}
+		deliver(t)
+		h.free = append(h.free, t)
+	}
+}
+
+// CompletedBy removes and returns all transfers finished at or before now,
+// in completion order. Unlike DrainCompleted, the returned records are not
+// recycled, so callers may keep them; prefer DrainCompleted on hot paths.
+func (h *Hierarchy) CompletedBy(now int64) []*Transfer {
+	var done []*Transfer
+	for {
+		t := h.popCompleted(now)
+		if t == nil {
+			return done
+		}
+		done = append(done, t)
+	}
+}
+
+// NextCompletion returns the cycle the earliest in-flight transfer finishes,
+// or math.MaxInt64 when nothing is in flight — the memory system's
+// contribution to the core's next-interesting-cycle schedule.
+func (h *Hierarchy) NextCompletion() int64 {
+	if len(h.queue) == 0 {
+		return math.MaxInt64
+	}
+	return h.queue[0].Done
+}
+
+// BusFreeAt returns the first cycle a new transfer could start.
+func (h *Hierarchy) BusFreeAt() int64 { return h.busFreeAt }
+
 // PendingCount returns the number of in-flight transfers.
-func (h *Hierarchy) PendingCount() int { return len(h.pending) }
+func (h *Hierarchy) PendingCount() int { return len(h.queue) }
 
 // BusUtilization returns the fraction of the first totalCycles the bus was
 // busy.

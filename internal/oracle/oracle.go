@@ -83,13 +83,25 @@ func (w *Walker) PC() uint64 { return w.pc }
 // Next executes one instruction and returns its record. A live walker always
 // returns ok == true.
 func (w *Walker) Next() (Record, bool) {
+	var rec Record
+	w.NextInto(&rec)
+	return rec, true
+}
+
+// NextInto executes one instruction, filling rec in place — the copy-free
+// form of Next the fetch engine uses on its per-instruction hot path. It
+// always returns true (live walkers never exhaust).
+func (w *Walker) NextInto(rec *Record) bool {
 	ins, ok := w.im.InstrAt(w.pc)
 	if !ok {
 		// The generator and Validate make this unreachable; crash loudly
 		// rather than emit garbage.
 		panic(fmt.Sprintf("oracle: correct path left the image at %#x", w.pc))
 	}
-	rec := Record{PC: w.pc, Instr: ins, NextPC: isa.NextPC(w.pc)}
+	rec.PC = w.pc
+	rec.Instr = ins
+	rec.Taken = false
+	rec.NextPC = isa.NextPC(w.pc)
 
 	switch ins.Kind {
 	case isa.CondBranch:
@@ -123,7 +135,7 @@ func (w *Walker) Next() (Record, bool) {
 
 	w.pc = rec.NextPC
 	w.Executed++
-	return rec, true
+	return true
 }
 
 func (w *Walker) push(ret uint64) {

@@ -2,6 +2,7 @@ package prefetch
 
 import (
 	"fmt"
+	"math"
 
 	"fdip/internal/ftq"
 )
@@ -138,7 +139,21 @@ func (f *FDP) Tick(now int64) {
 // scan walks unscanned FTQ lines into the PIQ, applying enqueue-side CPF.
 func (f *FDP) scan(now int64) {
 	q := f.port.env.FTQ
-	for i := f.cfg.SkipHead; i < q.Len(); i++ {
+	n := q.Len()
+	if n <= f.cfg.SkipHead || q.At(n-1).Seq < f.nextSeq {
+		return // everything queued has been scanned; skip the walk
+	}
+	// Queue entries carry consecutive sequence numbers (the BPU pushes them
+	// in order), so the cursor's position resolves to an index directly —
+	// the walk starts at the first unscanned block instead of re-skipping
+	// every scanned one.
+	start := f.cfg.SkipHead
+	if head := q.At(0); f.nextSeq > head.Seq {
+		if d := int(f.nextSeq - head.Seq); d > start {
+			start = d
+		}
+	}
+	for i := start; i < n; i++ {
 		b := q.At(i)
 		if b.Seq < f.nextSeq {
 			continue // already scanned
@@ -239,6 +254,39 @@ func (f *FDP) removeProbe(now int64) {
 			continue
 		}
 		i++
+	}
+}
+
+// NextEvent implements Prefetcher. The FDP is active while the scan cursor
+// trails the newest FTQ block (detected exactly by comparing against its
+// monotonic sequence number), while remove-side probing has queued entries
+// to re-check, and whenever the PIQ head would issue or be dropped this
+// cycle. A PIQ head deferred on a busy bus is the one waiting state the
+// scheduler may jump: nothing changes until the bus frees except the
+// deferral counter, which OnSkip batches.
+func (f *FDP) NextEvent(now int64) int64 {
+	q := f.port.env.FTQ
+	if n := q.Len(); n > f.cfg.SkipHead && q.At(n-1).Seq >= f.nextSeq {
+		return now // unscanned blocks: the scan advances this cycle
+	}
+	if len(f.piq) == 0 {
+		return math.MaxInt64
+	}
+	if f.cfg.RemoveCPF {
+		return now // remove-side probing runs every cycle the PIQ is full
+	}
+	if !f.port.headDefers(f.piq[0], now) {
+		return now // the head issues or is dropped this cycle
+	}
+	return f.port.env.Hier.BusFreeAt()
+}
+
+// OnSkip implements Prefetcher: a skip with a populated PIQ can only have
+// crossed bus-busy deferral cycles (NextEvent pins every other state to
+// "active"), so account one deferral per skipped cycle.
+func (f *FDP) OnSkip(cycles uint64) {
+	if len(f.piq) > 0 {
+		f.port.stats.DeferredBusBusy += cycles
 	}
 }
 

@@ -1,5 +1,7 @@
 package prefetch
 
+import "math"
+
 // StreamBuffers is a multi-way Jouppi stream-buffer prefetcher. A demand
 // miss that no active stream covers allocates a stream starting at the next
 // line; each stream runs ahead of the demand stream by up to depth lines.
@@ -114,6 +116,37 @@ func (s *StreamBuffers) Tick(now int64) {
 			// it so it can keep running ahead.
 			st.next += uint64(s.port.env.LineBytes)
 			st.credit--
+		}
+	}
+}
+
+// NextEvent implements Prefetcher. Tick walks streams in order and acts on
+// the first one holding credit, so only that stream decides the schedule:
+// if its next line would issue or be skipped past, the engine is active;
+// if it defers on a busy bus, nothing changes until the bus frees except
+// the deferral counter, which OnSkip batches. Credit-starved streams wait
+// on demand traffic.
+func (s *StreamBuffers) NextEvent(now int64) int64 {
+	for i := range s.streams {
+		st := &s.streams[i]
+		if !st.valid || st.credit <= 0 {
+			continue
+		}
+		if !s.port.headDefers(st.next, now) {
+			return now
+		}
+		return s.port.env.Hier.BusFreeAt()
+	}
+	return math.MaxInt64
+}
+
+// OnSkip implements Prefetcher (see FDP.OnSkip: with a credited stream,
+// skipped cycles are exactly bus-busy deferrals of its next line).
+func (s *StreamBuffers) OnSkip(cycles uint64) {
+	for i := range s.streams {
+		if s.streams[i].valid && s.streams[i].credit > 0 {
+			s.port.stats.DeferredBusBusy += cycles
+			return
 		}
 	}
 }

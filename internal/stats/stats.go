@@ -92,21 +92,29 @@ func NewHistogram(n, width int) *Histogram {
 }
 
 // Add records one sample. Negative samples clamp to zero.
-func (h *Histogram) Add(v int) {
+func (h *Histogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN records n identical samples in one update — the bulk form the cycle
+// kernel uses when fast-forwarding over idle stretches whose sampled value
+// is provably constant. Negative samples clamp to zero.
+func (h *Histogram) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
 	if v < 0 {
 		v = 0
 	}
-	h.count++
-	h.sum += int64(v)
+	h.count += n
+	h.sum += int64(v) * int64(n)
 	if int64(v) > h.max {
 		h.max = int64(v)
 	}
 	b := v / h.BucketWidth
 	if b >= len(h.buckets) {
-		h.over++
+		h.over += n
 		return
 	}
-	h.buckets[b]++
+	h.buckets[b] += n
 }
 
 // Count returns the number of samples recorded.
