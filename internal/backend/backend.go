@@ -122,6 +122,29 @@ func New(cfg Config) *Backend {
 // Config returns the normalised configuration.
 func (b *Backend) Config() Config { return b.cfg }
 
+// Reset restores the pristine just-constructed state: an empty ROB and
+// decode pipe, a clean scoreboard, no pending misprediction, and counters
+// zeroed, retaining every backing array (stale ROB slots are unobservable —
+// fill rewrites a slot completely before count makes it live). The OnCommit
+// hook persists; owners that rebind it per run may do so after Reset.
+func (b *Backend) Reset() {
+	b.head = 0
+	b.count = 0
+	b.issuedPrefix = 0
+	b.regReady = [isa.NumRegs]int64{}
+	b.dpU = b.dpU[:0]
+	b.dpReady = b.dpReady[:0]
+	b.dpHead = 0
+	b.missPresent = false
+	b.missIssued = false
+	b.missDone = 0
+	b.missUop = pipe.Uop{}
+	b.redirect = pipe.Uop{}
+	b.Committed, b.Issued, b.Squashed = 0, 0, 0
+	b.ROBFullCycles = 0
+	b.MispredictsResolved = [5]uint64{}
+}
+
 // Accept returns how many instructions the decode pipe can take this cycle.
 func (b *Backend) Accept() int { return b.cfg.PipeCap - (len(b.dpU) - b.dpHead) }
 

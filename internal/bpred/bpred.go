@@ -36,6 +36,10 @@ type Predictor interface {
 	// Commit trains the tables with the branch's actual outcome; hist is
 	// the history word captured at prediction time.
 	Commit(pc uint64, hist uint64, taken bool)
+	// Reset restores the pristine just-constructed state — tables at their
+	// initial counter values, history cleared — retaining backing storage
+	// (the layer-wide Reset contract; see ARCHITECTURE.md).
+	Reset()
 	// StorageBits reports the predictor's table storage in bits.
 	StorageBits() int
 }
@@ -96,6 +100,13 @@ func (b *Bimodal) Restore(uint64) {}
 func (b *Bimodal) Commit(pc uint64, _ uint64, taken bool) {
 	i := pcIndex(pc, len(b.table))
 	b.table[i] = bump(b.table[i], taken)
+}
+
+// Reset implements Predictor: all counters back to weakly taken.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2
+	}
 }
 
 // StorageBits implements Predictor.
@@ -162,6 +173,14 @@ func (g *Gshare) Commit(pc uint64, hist uint64, taken bool) {
 	g.table[i] = bump(g.table[i], taken)
 }
 
+// Reset implements Predictor: counters weakly taken, history cleared.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	g.ghr = 0
+}
+
 // StorageBits implements Predictor.
 func (g *Gshare) StorageBits() int { return 2 * len(g.table) }
 
@@ -225,6 +244,16 @@ func (h *Hybrid) Commit(pc uint64, hist uint64, taken bool) {
 	}
 }
 
+// Reset implements Predictor: both components plus the chooser (back to
+// weakly preferring gshare).
+func (h *Hybrid) Reset() {
+	h.bim.Reset()
+	h.gsh.Reset()
+	for i := range h.meta {
+		h.meta[i] = 2
+	}
+}
+
 // StorageBits implements Predictor.
 func (h *Hybrid) StorageBits() int {
 	return h.bim.StorageBits() + h.gsh.StorageBits() + 2*len(h.meta)
@@ -258,6 +287,9 @@ func (s *Static) Restore(uint64) {}
 
 // Commit implements Predictor.
 func (s *Static) Commit(uint64, uint64, bool) {}
+
+// Reset implements Predictor; static predictors have no state.
+func (s *Static) Reset() {}
 
 // StorageBits implements Predictor.
 func (s *Static) StorageBits() int { return 0 }

@@ -76,5 +76,13 @@ func (l *Local) Commit(pc uint64, _ uint64, taken bool) {
 	l.bht[bi] = h
 }
 
+// Reset implements Predictor: histories cleared, counters weakly taken.
+func (l *Local) Reset() {
+	clear(l.bht)
+	for i := range l.pht {
+		l.pht[i] = 2
+	}
+}
+
 // StorageBits implements Predictor: 16-bit histories plus 2-bit counters.
 func (l *Local) StorageBits() int { return len(l.bht)*int(l.histBits) + 2*len(l.pht) }

@@ -88,5 +88,14 @@ func (r *RAS) Restore(cp RASCheckpoint) {
 	}
 }
 
+// Reset restores the pristine just-constructed state: an empty stack with
+// counters zeroed, retaining the backing array.
+func (r *RAS) Reset() {
+	clear(r.buf)
+	r.sp = -1
+	r.len = 0
+	r.Pushes, r.Pops, r.Underflows = 0, 0, 0
+}
+
 // StorageBits reports the stack storage cost assuming 48-bit addresses.
 func (r *RAS) StorageBits() int { return 48 * len(r.buf) }

@@ -218,6 +218,17 @@ func (t *TargetBuffer) InvalidateAll() {
 	}
 }
 
+// Reset restores the pristine just-constructed state: every entry invalid,
+// the LRU clock rewound, and counters zeroed, retaining the backing array.
+func (t *TargetBuffer) Reset() {
+	for _, set := range t.sets {
+		clear(set)
+	}
+	t.clock = 0
+	t.Lookups, t.Hits, t.Misses = 0, 0, 0
+	t.Inserts, t.Updates, t.Evictions = 0, 0, 0
+}
+
 // EntryBits returns the storage cost of one entry following the paper's
 // accounting: a tag of (AddrBits - log2(sets) - 2) bits, a 2-bit type, a
 // 46-bit target, and — in block-oriented mode — a 5-bit block size.

@@ -1,0 +1,60 @@
+package btb
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdip/internal/isa"
+)
+
+// btbTrace drives a deterministic train/predict mix and records every
+// observable outcome plus the final counters.
+func btbTrace(tb *TargetBuffer, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []isa.Kind{isa.CondBranch, isa.Jump, isa.Call, isa.Ret}
+	var out []uint64
+	for i := 0; i < 3000; i++ {
+		pc := uint64(rng.Intn(1<<12)) * 4
+		if rng.Intn(2) == 0 {
+			tb.TrainBlock(pc, 1+rng.Intn(8), kinds[rng.Intn(len(kinds))], uint64(rng.Intn(1<<12))*4)
+			continue
+		}
+		p, ok := tb.PredictBlock(pc)
+		if ok {
+			out = append(out, 1, uint64(p.NumInstrs), uint64(p.CTI), p.Target)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return append(out, tb.Lookups, tb.Hits, tb.Misses, tb.Inserts, tb.Updates, tb.Evictions)
+}
+
+// TestTargetBufferResetEqualsFresh dirties a buffer, resets it, and requires
+// the exact observable behaviour of a fresh one — in both the
+// block-oriented (FTB) and conventional (BTB) organisations.
+func TestTargetBufferResetEqualsFresh(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"ftb", Config{Sets: 64, Ways: 2, BlockOriented: true, MaxBlockInstrs: 8, AddrBits: 48}},
+		{"btb", Config{Sets: 64, Ways: 2, BlockOriented: false, MaxBlockInstrs: 8, AddrBits: 48}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dirty := New(tc.cfg)
+			btbTrace(dirty, 1)
+			dirty.Reset()
+			got := btbTrace(dirty, 2)
+			want := btbTrace(New(tc.cfg), 2)
+			if len(got) != len(want) {
+				t.Fatalf("trace lengths differ: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("reset %s diverged from fresh at trace step %d: %d != %d", tc.name, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -296,6 +296,33 @@ func (c *Cache) InvalidateAll() {
 	}
 }
 
+// Reset restores the pristine just-constructed state: every line invalid,
+// replacement clock and port state rewound, counters zeroed, and the Random
+// policy's RNG reseeded to its initial stream. Flat-backed caches keep their
+// backing array and zero it; lazily backed caches (the megabyte-class L2)
+// instead drop their set slices and arena chunks, exactly reproducing a
+// fresh machine's cold, unallocated tag array — resetting by dropping, not
+// zeroing, so a reset costs O(touched sets), never O(capacity).
+func (c *Cache) Reset() {
+	if len(c.sets)*c.cfg.Ways <= lazySetThreshold {
+		for _, set := range c.sets {
+			clear(set)
+		}
+	} else {
+		clear(c.sets)
+		c.arena = nil
+	}
+	c.clock = 0
+	c.rng.Seed(c.cfg.Seed + 1)
+	c.portCycle = -1
+	c.portsUsed = 0
+	c.Accesses, c.Hits, c.Misses = 0, 0, 0
+	c.Probes, c.ProbeHits = 0, 0
+	c.Fills, c.Evictions = 0, 0
+	c.PrefetchedHits = 0
+	c.PortGrants, c.PortRejections = 0, 0
+}
+
 // reconstructAddr rebuilds a line address from set index and tag.
 func (c *Cache) reconstructAddr(si int, tag uint64) uint64 {
 	setBits := uint(bits.TrailingZeros(uint(len(c.sets))))

@@ -94,6 +94,16 @@ func (p *PrefetchBuffer) InvalidateAll() {
 	}
 }
 
+// Reset restores the pristine just-constructed state: every entry invalid,
+// the FIFO cursor rewound, and counters zeroed, retaining the backing
+// arrays.
+func (p *PrefetchBuffer) Reset() {
+	clear(p.valid)
+	clear(p.entries)
+	p.next = 0
+	p.Inserts, p.Hits, p.Evictions = 0, 0, 0
+}
+
 // Occupancy returns the number of live entries.
 func (p *PrefetchBuffer) Occupancy() int {
 	n := 0

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cacheTrace drives a deterministic pseudo-random op mix over the cache and
+// records every observable outcome plus the final counters.
+func cacheTrace(c *Cache, seed int64, ops int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out []uint64
+	record := func(b bool) {
+		if b {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	for i := 0; i < ops; i++ {
+		addr := uint64(rng.Intn(1<<14)) * 32
+		now := int64(i / 3)
+		switch rng.Intn(6) {
+		case 0:
+			record(c.Access(addr))
+		case 1:
+			record(c.Probe(addr))
+		case 2:
+			record(c.Contains(addr))
+		case 3:
+			ev, did := c.Fill(addr, rng.Intn(2) == 0)
+			record(did)
+			out = append(out, ev)
+		case 4:
+			record(c.Invalidate(addr))
+		case 5:
+			record(c.TryUsePort(now))
+			out = append(out, uint64(c.IdlePorts(now)))
+		}
+	}
+	out = append(out, c.Accesses, c.Hits, c.Misses, c.Probes, c.ProbeHits,
+		c.Fills, c.Evictions, c.PrefetchedHits, c.PortGrants, c.PortRejections)
+	return out
+}
+
+// TestCacheResetEqualsFresh dirties a cache, resets it, and requires the
+// exact observable behaviour of a freshly constructed cache — per geometry
+// (flat-backed and lazily chunked) and per replacement policy (Random also
+// proves the RNG reseed).
+func TestCacheResetEqualsFresh(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"small-lru", Config{SizeBytes: 2048, Ways: 2, LineBytes: 32, Repl: LRU, TagPorts: 2}},
+		{"small-fifo", Config{SizeBytes: 2048, Ways: 2, LineBytes: 32, Repl: FIFO, TagPorts: 2}},
+		{"small-random", Config{SizeBytes: 2048, Ways: 2, LineBytes: 32, Repl: Random, TagPorts: 2, Seed: 11}},
+		{"large-lazy-arena", Config{SizeBytes: 1 << 20, Ways: 8, LineBytes: 32, Repl: LRU, TagPorts: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cfg.SizeBytes == 1<<20 {
+				// Confirm this geometry actually exercises the lazy path.
+				if n := tc.cfg.SizeBytes / tc.cfg.LineBytes; n <= lazySetThreshold {
+					t.Fatalf("geometry has %d lines; want > %d (lazy)", n, lazySetThreshold)
+				}
+			}
+			dirty := New(tc.cfg)
+			cacheTrace(dirty, 1, 4000) // dirty with one trace...
+			dirty.Reset()
+			got := cacheTrace(dirty, 2, 4000) // ...then observe another
+			want := cacheTrace(New(tc.cfg), 2, 4000)
+			if len(got) != len(want) {
+				t.Fatalf("trace lengths differ: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("reset cache diverged from fresh at trace step %d: %d != %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPrefetchBufferResetEqualsFresh does the same for the prefetch buffer.
+func TestPrefetchBufferResetEqualsFresh(t *testing.T) {
+	pfbTrace := func(p *PrefetchBuffer, seed int64) []uint64 {
+		rng := rand.New(rand.NewSource(seed))
+		var out []uint64
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Intn(64)) * 32
+			switch rng.Intn(3) {
+			case 0:
+				p.Insert(addr)
+			case 1:
+				if p.Take(addr) {
+					out = append(out, addr|1)
+				}
+			case 2:
+				if p.Contains(addr) {
+					out = append(out, addr)
+				}
+			}
+			out = append(out, uint64(p.Occupancy()))
+		}
+		return append(out, p.Inserts, p.Hits, p.Evictions)
+	}
+	for _, entries := range []int{0, 8, 32} {
+		dirty := NewPrefetchBuffer(entries, 32)
+		pfbTrace(dirty, 1)
+		dirty.Reset()
+		got := pfbTrace(dirty, 2)
+		want := pfbTrace(NewPrefetchBuffer(entries, 32), 2)
+		if len(got) != len(want) {
+			t.Fatalf("entries=%d: trace lengths differ", entries)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("entries=%d: reset PFB diverged at step %d", entries, i)
+			}
+		}
+	}
+}

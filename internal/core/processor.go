@@ -122,6 +122,40 @@ func New(cfg Config, im *program.Image, stream oracle.Stream) (*Processor, error
 	return p, nil
 }
 
+// Reset restores the assembled machine to its just-constructed state over a
+// (possibly different) program image and oracle stream, retaining every
+// allocated backing array. The configuration is fixed at construction, so a
+// reset machine is only valid for jobs with the identical validated Config.
+//
+// The contract is pristine-machine semantics: after Reset the processor is
+// observationally indistinguishable from New(cfg, im, stream) — every table
+// cold, every queue empty, every counter zero, the clock at cycle 0 — and it
+// must hold from *any* prior state, including a run abandoned mid-flight by
+// context cancellation. The differential harness in internal/simtest
+// enforces the equivalence end to end; per-component tests enforce it layer
+// by layer.
+func (p *Processor) Reset(im *program.Image, stream oracle.Stream) {
+	p.im = im
+	p.l1i.Reset()
+	p.pfb.Reset()
+	p.hier.Reset()
+	p.ftb.Reset()
+	p.dir.Reset()
+	p.ras.Reset()
+	p.q.Reset()
+	p.bpu.Reset(im.Entry)
+	p.be.Reset()
+	p.pf.Reset()
+	p.fe.Reset(im, stream)
+	p.now = 0
+	p.uopBuf = p.uopBuf[:0]
+	p.ftqOcc.Reset()
+	p.robOcc.Reset()
+	p.condBranches, p.ctisCommitted = 0, 0
+	p.committedByKind = [isa.NumKinds]uint64{}
+	p.lastProgressCycle, p.lastProgressCount = 0, 0
+}
+
 // MustNew is New for known-good configurations.
 func MustNew(cfg Config, im *program.Image, stream oracle.Stream) *Processor {
 	p, err := New(cfg, im, stream)

@@ -76,6 +76,28 @@ type Stats struct {
 	CacheHits int `json:"cache_hits"`
 	// Failures counts runs that returned an error.
 	Failures int `json:"failures"`
+	// MachinesBuilt counts processor constructions; MachinesReused counts
+	// checkouts served by the machine pool (a reset recycled machine). In a
+	// steady-state sweep MachinesBuilt stays at the distinct-configuration
+	// count while MachinesReused grows with the job count.
+	MachinesBuilt  int `json:"machines_built"`
+	MachinesReused int `json:"machines_reused"`
+	// SimulatedCycles and SimSeconds aggregate, over all fresh simulations,
+	// the simulated cycle counts and the wall time spent inside the
+	// simulation proper — the fleet-wide numerator and denominator of
+	// CyclesPerSec.
+	SimulatedCycles int64   `json:"simulated_cycles"`
+	SimSeconds      float64 `json:"sim_seconds"`
+}
+
+// CyclesPerSec returns the aggregate simulation throughput (simulated
+// cycles per wall-clock second across every fresh simulation), or 0 before
+// any simulation completes.
+func (s Stats) CyclesPerSec() float64 {
+	if s.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(s.SimulatedCycles) / s.SimSeconds
 }
 
 // Engine executes simulation jobs on a bounded worker pool with memoisation.
@@ -91,6 +113,13 @@ type Engine struct {
 	mu      sync.Mutex
 	results map[resultKey]*resultCall
 	stats   Stats
+
+	// pools recycles processors per validated configuration (the machine
+	// pool; see pool.go). The comparable Config value is the configuration
+	// fingerprint, so lookup is a single O(1) map access, hoisted to once
+	// per job.
+	poolMu sync.Mutex
+	pools  map[core.Config]*machinePool
 
 	emitMu sync.Mutex
 }
@@ -153,6 +182,7 @@ func New(opts ...Option) *Engine {
 	e := &Engine{
 		images:  NewImageCache(),
 		results: make(map[resultKey]*resultCall),
+		pools:   make(map[core.Config]*machinePool),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -206,21 +236,25 @@ func (e *Engine) Sweep(ctx context.Context, jobs []Job) ([]RunOutcome, error) {
 
 // RunImage simulates cfg over an already-generated image. It takes a worker
 // slot and honours ctx but is not memoised (an arbitrary image has no cache
-// key).
+// key). Machines still come from the per-configuration pool.
 func (e *Engine) RunImage(ctx context.Context, cfg core.Config, im *program.Image, seed int64) (core.Result, error) {
 	cfg = e.normalise(cfg)
 	if err := cfg.Validate(); err != nil {
 		return core.Result{}, err
 	}
+	mp := e.machinePoolFor(cfg)
 	if err := e.acquire(ctx); err != nil {
 		return core.Result{}, err
 	}
 	defer e.release()
-	p, err := core.New(cfg, im, oracle.NewWalker(im, seed))
+	p, fresh, err := mp.get(im, oracle.NewWalker(im, seed))
 	if err != nil {
 		return core.Result{}, err
 	}
-	return p.RunContext(ctx)
+	e.noteMachine(fresh)
+	res, err := p.RunContext(ctx)
+	mp.put(p)
+	return res, err
 }
 
 // normalise applies the engine-wide instruction budget.
@@ -285,6 +319,11 @@ func (e *Engine) runJob(ctx context.Context, job Job) RunOutcome {
 		return fail(err)
 	}
 	key := resultKey{params: params, cfg: cfg, seed: job.Seed}
+	// Resolve the machine pool once per job, next to the memo key: cfg is
+	// the configuration fingerprint, and hoisting the lookup here keeps the
+	// checkout inside simulate a single sync.Pool Get — O(1) per job with no
+	// re-fingerprinting.
+	mp := e.machinePoolFor(cfg)
 
 	for {
 		e.mu.Lock()
@@ -319,7 +358,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) RunOutcome {
 			return fail(call.err)
 		}
 
-		call.res, call.simDur, call.err = e.simulate(ctx, job, cfg, params)
+		call.res, call.simDur, call.err = e.simulate(ctx, job, params, mp)
 		e.mu.Lock()
 		if call.err != nil {
 			// Do not cache failures (a cancellation must not poison
@@ -327,6 +366,8 @@ func (e *Engine) runJob(ctx context.Context, job Job) RunOutcome {
 			delete(e.results, key)
 		} else {
 			e.stats.Simulations++
+			e.stats.SimulatedCycles += call.res.Cycles
+			e.stats.SimSeconds += call.simDur.Seconds()
 		}
 		e.mu.Unlock()
 		close(call.done)
@@ -347,11 +388,14 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// simulate builds the machine and runs it under a worker slot. The returned
-// duration covers only the simulation proper (machine construction and run),
+// simulate checks a machine out of the job's pool (resetting a recycled one,
+// constructing only on first use) and runs it under a worker slot. The
+// machine is returned to the pool whatever the outcome — Reset restores
+// pristine state even from a cancellation-abandoned run. The returned
+// duration covers only the simulation proper (machine checkout and run),
 // excluding the wait for a worker slot and image generation, so
 // CyclesPerSec reflects kernel speed even when a sweep queues jobs.
-func (e *Engine) simulate(ctx context.Context, job Job, cfg core.Config, params program.Params) (core.Result, time.Duration, error) {
+func (e *Engine) simulate(ctx context.Context, job Job, params program.Params, mp *machinePool) (core.Result, time.Duration, error) {
 	if err := e.acquire(ctx); err != nil {
 		return core.Result{}, 0, err
 	}
@@ -362,11 +406,13 @@ func (e *Engine) simulate(ctx context.Context, job Job, cfg core.Config, params 
 	}
 	e.emit(Event{Kind: EventJobStarted, Job: job})
 	start := time.Now()
-	p, err := core.New(cfg, im, oracle.NewWalker(im, job.Seed))
+	p, fresh, err := mp.get(im, oracle.NewWalker(im, job.Seed))
 	if err != nil {
 		return core.Result{}, 0, err
 	}
+	e.noteMachine(fresh)
 	res, err := p.RunContext(ctx)
+	mp.put(p)
 	return res, time.Since(start), err
 }
 

@@ -49,6 +49,32 @@ func TestGoldenResultChecksum(t *testing.T) {
 	}
 }
 
+// TestGoldenResultChecksumPooledReuse pins the golden checksum on the
+// pooled-and-reset path specifically: one engine first runs a same-config
+// job with a different seed (building and dirtying the pooled machine), so
+// the golden job that follows is served by a recycled, Reset machine. The
+// checksum must still match — Reset is bit-invisible.
+func TestGoldenResultChecksumPooledReuse(t *testing.T) {
+	ctx := context.Background()
+	e := New(WithWorkers(1))
+	dirty := goldenJob()
+	dirty.Seed = 987654321
+	if _, err := e.Run(ctx, dirty); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(ctx, goldenJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultChecksum(res); got != goldenChecksum {
+		t.Errorf("pooled reuse: result checksum %#x, want %#x — Reset is not bit-invisible (cycles=%d ipc=%.4f)",
+			got, goldenChecksum, res.Cycles, res.IPC)
+	}
+	if st := e.Stats(); st.MachinesReused == 0 && !raceEnabled {
+		t.Errorf("golden job did not reuse the pooled machine (built %d); test no longer covers the reset path", st.MachinesBuilt)
+	}
+}
+
 // TestGoldenSweepIdenticalAcrossWorkerCounts runs a small mixed sweep at
 // several worker counts and requires byte-identical results, including the
 // golden point.

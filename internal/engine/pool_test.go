@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"fdip/internal/core"
+	"fdip/internal/simtest"
+)
+
+// poolGrid builds a job mix that forces heavy machine reuse: few distinct
+// configurations, many (workload, seed) points each.
+func poolGrid(instrs uint64) []Job {
+	base := core.DefaultConfig()
+	base.MaxInstrs = instrs
+	fdp := base
+	fdp.Prefetch.Kind = core.PrefetchFDP
+	nl := base
+	nl.Prefetch.Kind = core.PrefetchNextLine
+	var jobs []Job
+	for _, cfg := range []core.Config{base, fdp, nl} {
+		for _, wl := range []string{"gcc", "perl"} {
+			for seed := int64(1); seed <= 3; seed++ {
+				jobs = append(jobs, Job{Config: cfg, Workload: wl, Seed: seed})
+			}
+		}
+	}
+	return jobs
+}
+
+// TestEnginePooledResetMatchesFresh is the engine end of the differential
+// harness: results served through the engine's machine pool must be
+// DeepEqual to a machine constructed from scratch for the same triple.
+func TestEnginePooledResetMatchesFresh(t *testing.T) {
+	e := New(WithWorkers(2))
+	ctx := context.Background()
+	for _, tr := range simtest.Grid() {
+		// Dirty the pool first with a different point of the same config.
+		dirty := simtest.DirtyVariant(tr)
+		if _, err := e.Run(ctx, Job{Config: dirty.Config, Workload: dirty.Workload, Seed: dirty.Seed}); err != nil {
+			t.Fatalf("%s dirty: %v", tr.Name, err)
+		}
+		got, err := e.Run(ctx, Job{Config: tr.Config, Workload: tr.Workload, Seed: tr.Seed})
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		if want := simtest.FreshResult(t, tr); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: engine (pooled) result differs from fresh machine\npooled: %+v\nfresh:  %+v", tr.Name, got, want)
+		}
+	}
+	// Under -race, sync.Pool drops Puts at random by design, so reuse is
+	// not guaranteed there (the non-race CI steps enforce it).
+	if st := e.Stats(); st.MachinesReused == 0 && !raceEnabled {
+		t.Errorf("pool never reused a machine (built %d, reused %d); the differential ran against fresh machines only", st.MachinesBuilt, st.MachinesReused)
+	}
+}
+
+// TestSweepPooledBitIdenticalAcrossWorkers runs the reuse-heavy grid at
+// workers=1 and workers=8 and requires bit-identical outcomes. Machines are
+// checked out, reset, and returned in racy interleavings at 8 workers, so
+// (with the engine package's -race CI pass) this is the pool's concurrency
+// proof.
+func TestSweepPooledBitIdenticalAcrossWorkers(t *testing.T) {
+	jobs := poolGrid(20_000)
+	ctx := context.Background()
+	ref, err := New(WithWorkers(1)).Sweep(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8 := New(WithWorkers(8))
+	outs, err := e8.Sweep(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if outs[i].Err != nil {
+			t.Fatalf("workers=8 job %d (%s): %v", i, outs[i].Job.Name, outs[i].Err)
+		}
+		if !reflect.DeepEqual(ref[i].Result, outs[i].Result) {
+			t.Errorf("job %d (%s seed %d): workers=8 result differs from workers=1", i, outs[i].Job.Name, outs[i].Job.Seed)
+		}
+	}
+	st := e8.Stats()
+	// A total pooling regression means every simulation builds its own
+	// machine. Concurrency makes a few extra builds legitimate (workers can
+	// miss the pool simultaneously), and -race drops Puts at random, so the
+	// guard is reuse-happened rather than an exact build count.
+	if st.MachinesReused == 0 && !raceEnabled {
+		t.Errorf("built %d machines for %d simulations with zero reuse; pool is not recycling", st.MachinesBuilt, st.Simulations)
+	}
+	if st.MachinesBuilt+st.MachinesReused != st.Simulations {
+		t.Errorf("checkout accounting: built %d + reused %d != %d simulations", st.MachinesBuilt, st.MachinesReused, st.Simulations)
+	}
+}
+
+// TestSweepSteadyStateZeroAlloc gates the pooling payoff: once the pool is
+// warm, repeatedly sweeping new points of a known configuration performs no
+// machine construction — the engine's per-job allocations drop to job
+// bookkeeping (an oracle walker, memo entries, outcome records), orders of
+// magnitude below the ~9MB machine build. CI runs this test in the
+// allocation-regression gate.
+func TestSweepSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under -race; the allocation gate runs in the non-race CI step")
+	}
+	e := New(WithWorkers(1))
+	cfg := core.DefaultConfig()
+	cfg.MaxInstrs = 2_000
+	cfg.Prefetch.Kind = core.PrefetchFDP
+	ctx := context.Background()
+
+	// Warm-up: build the one machine and generate the image.
+	if _, err := e.Run(ctx, Job{Config: cfg, Workload: "gcc", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// sync.Pool empties under GC; disable collection so the measurement
+	// observes the pool's steady state rather than GC timing.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	seed := int64(100)
+	var runErr error
+	avg := testing.AllocsPerRun(10, func() {
+		seed++ // a fresh memo key every run: each run truly simulates
+		if _, err := e.Run(ctx, Job{Config: cfg, Workload: "gcc", Seed: seed}); err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	st := e.Stats()
+	if st.MachinesBuilt != 1 {
+		t.Errorf("steady-state sweep built %d machines; want exactly 1 (construction must be pooled away)", st.MachinesBuilt)
+	}
+	if st.MachinesReused < 11 {
+		t.Errorf("machines reused = %d; want >= 11 (one per measured run)", st.MachinesReused)
+	}
+	t.Logf("steady-state Run: %.1f allocs/run (machines built %d, reused %d)", avg, st.MachinesBuilt, st.MachinesReused)
+	// Per-run bookkeeping (walker maps, memo entry, outcome) is ~tens of
+	// allocations; machine construction alone is far beyond this bound.
+	if avg > 150 {
+		t.Errorf("steady-state Run allocates %.0f objects; want <= 150 (machine construction is leaking back in)", avg)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that this test binary was built with -race, under
+// which sync.Pool deliberately drops a fraction of Puts to shake out
+// lifetime bugs — making strict pool-reuse counters unmeasurable.
+const raceEnabled = true

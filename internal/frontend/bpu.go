@@ -60,6 +60,17 @@ func (b *BPU) Redirect(pc uint64, resume int64) {
 	b.next = resume
 }
 
+// Reset restores the pristine just-constructed state over a (possibly new)
+// program entry point: prediction restarts at entryPC on cycle 0 with the
+// block sequence and counters rewound. The wired FTB, predictor, RAS, and
+// FTQ are reset by their own owners.
+func (b *BPU) Reset(entryPC uint64) {
+	b.pc = entryPC
+	b.seq = 0
+	b.next = 0
+	b.Blocks, b.FTBMisses, b.FullStalls, b.RASUnderflows = 0, 0, 0, 0
+}
+
 // Tick makes one fetch-block prediction into the FTQ. The block is built
 // in place in the queue slot (PushSlot/CommitPush), so the per-cycle hot
 // path never copies a Block.

@@ -95,6 +95,31 @@ func (f *FetchEngine) advance() {
 // Exhausted reports whether the oracle stream ended (trace replay only).
 func (f *FetchEngine) Exhausted() bool { return f.exhausted }
 
+// Reset restores the pristine just-constructed state over a (possibly
+// different) program image and oracle stream: no stall, no divergence,
+// sequence numbers and counters rewound, and the first oracle record pulled
+// — exactly what newFetchEngine leaves behind. The wired FTQ, caches, and
+// hierarchy are reset by their own owners; width, perfect mode, and the
+// prefetch notify hook are configuration, so they persist.
+func (f *FetchEngine) Reset(im *program.Image, stream oracle.Stream) {
+	f.im = im
+	f.stream = stream
+	f.nextInto = nil
+	if is, ok := stream.(interface{ NextInto(*oracle.Record) bool }); ok {
+		f.nextInto = is.NextInto
+	}
+	f.stalled = false
+	f.stallUntil = 0
+	f.diverged = false
+	f.seq = 0
+	f.cur = oracle.Record{}
+	f.exhausted = false
+	f.DemandAccesses, f.L1Hits, f.PFBHits, f.FullMisses, f.LateMerges = 0, 0, 0, 0, 0
+	f.Delivered, f.WrongPath, f.OutOfImage = 0, 0, 0
+	f.StallCycles, f.IdleNoFTQ, f.BackendFull = 0, 0, 0
+	f.advance()
+}
+
 // StallEvent reports whether fetch is blocked on an outstanding demand miss,
 // and the cycle the stall lifts. The core's cycle-skip scheduler uses it:
 // while stalled, Tick only counts stall cycles until that cycle arrives.

@@ -224,6 +224,16 @@ func (q *Queue) Squash() {
 	q.Squashes++
 }
 
+// Reset restores the pristine just-constructed state: an empty queue with
+// counters zeroed. Each slot's reusable line buffer is retained (PushSlot
+// fully rebuilds a slot before it becomes visible, so stale block contents
+// are unobservable).
+func (q *Queue) Reset() {
+	q.head = 0
+	q.count = 0
+	q.Pushed, q.Squashes, q.FullStalls = 0, 0, 0
+}
+
 // Scan calls fn for blocks starting at index from (0 == head) until fn
 // returns false or the queue is exhausted. It is the prefetch engine's view
 // of upcoming fetch addresses.

@@ -1,0 +1,77 @@
+package ftq
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdip/internal/isa"
+)
+
+// ftqTrace drives a deterministic push/pop/squash/scan mix and records the
+// queue's full observable surface: block fields, line decompositions, and
+// counters.
+func ftqTrace(q *Queue, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out []uint64
+	for i := 0; i < 1500; i++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			ok := q.Push(Block{
+				Seq:       uint64(i),
+				Start:     uint64(rng.Intn(1<<12)) * 4,
+				NumInstrs: 1 + rng.Intn(8),
+				EndsInCTI: rng.Intn(2) == 0,
+				CTIKind:   isa.CondBranch,
+				PredTaken: rng.Intn(2) == 0,
+			})
+			if ok {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		case 2:
+			if b := q.Head(); b != nil {
+				b.FetchedInstrs++
+				if b.Done() {
+					q.PopHead()
+				}
+				out = append(out, b.Start, uint64(b.FetchedInstrs))
+			}
+		case 3:
+			if rng.Intn(10) == 0 {
+				q.Squash()
+			}
+		case 4:
+			q.Scan(rng.Intn(3), func(idx int, b *Block) bool {
+				out = append(out, uint64(idx), b.Seq, b.Start, uint64(len(b.Lines)))
+				for _, ln := range b.Lines {
+					out = append(out, ln.Addr, uint64(ln.State))
+				}
+				return idx < 4
+			})
+		}
+		out = append(out, uint64(q.Len()))
+	}
+	return append(out, q.Pushed, q.Squashes, q.FullStalls)
+}
+
+// TestQueueResetEqualsFresh dirties a queue (including its reusable line
+// buffers), resets it, and requires the exact observable behaviour of a
+// freshly constructed queue.
+func TestQueueResetEqualsFresh(t *testing.T) {
+	for _, capacity := range []int{1, 4, 32} {
+		dirty := New(capacity, 32)
+		ftqTrace(dirty, 1)
+		dirty.Reset()
+		got := ftqTrace(dirty, 2)
+		want := ftqTrace(New(capacity, 32), 2)
+		if len(got) != len(want) {
+			t.Fatalf("cap=%d: trace lengths differ: %d vs %d", capacity, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cap=%d: reset queue diverged from fresh at trace step %d: %d != %d", capacity, i, got[i], want[i])
+			}
+		}
+	}
+}

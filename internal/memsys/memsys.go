@@ -304,6 +304,29 @@ func (h *Hierarchy) CompletedBy(now int64) []*Transfer {
 	}
 }
 
+// Reset restores the pristine just-constructed state: the L2 cold, the bus
+// free at cycle 0, no transfer in flight, and every counter zeroed. The
+// completion heap's records are recycled into the transfer free list and the
+// heap/map backing storage is retained, so a reset machine allocates nothing
+// to reach steady state again.
+func (h *Hierarchy) Reset() {
+	h.l2.Reset()
+	h.busFreeAt = 0
+	clear(h.inflight)
+	for i, t := range h.queue {
+		h.free = append(h.free, t)
+		h.queue[i] = nil
+	}
+	h.queue = h.queue[:0]
+	h.seq = 0
+	h.BusBusyCycles = 0
+	h.DemandRequests, h.PrefetchRequests = 0, 0
+	h.DemandMerges, h.PrefetchMerges = 0, 0
+	h.DemandBusWait = 0
+	h.L2DemandHits, h.L2DemandMisses = 0, 0
+	h.L2PrefetchHits, h.L2PrefetchMisses = 0, 0
+}
+
 // NextCompletion returns the cycle the earliest in-flight transfer finishes,
 // or math.MaxInt64 when nothing is in flight — the memory system's
 // contribution to the core's next-interesting-cycle schedule.

@@ -306,5 +306,18 @@ func (f *FDP) OnSquash() {
 	f.piq = f.piq[:0]
 }
 
+// Reset implements Prefetcher: the PIQ emptied, the scan cursor rewound to
+// the first block the (reset) BPU will push, and counters zeroed. The PIQ's
+// backing array is retained.
+func (f *FDP) Reset() {
+	f.piq = f.piq[:0]
+	f.nextSeq = 0
+	f.nextLine = 0
+	f.Enqueued, f.FilteredProbe, f.Unverified = 0, 0, 0
+	f.ConservativeStalls, f.DupInPIQ = 0, 0
+	f.RemovedProbe, f.SquashDrops = 0, 0
+	f.port.stats = PortStats{}
+}
+
 // IssueStats implements Prefetcher.
 func (f *FDP) IssueStats() PortStats { return f.port.stats }

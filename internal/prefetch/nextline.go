@@ -94,5 +94,12 @@ func (n *NextLine) OnSkip(cycles uint64) {
 // stream, not predictions, so redirects do not invalidate them.
 func (n *NextLine) OnSquash() {}
 
+// Reset implements Prefetcher: pending queue emptied, counters zeroed.
+func (n *NextLine) Reset() {
+	n.pending = n.pending[:0]
+	n.Triggers, n.PendingDrops = 0, 0
+	n.port.stats = PortStats{}
+}
+
 // IssueStats implements Prefetcher.
 func (n *NextLine) IssueStats() PortStats { return n.port.stats }

@@ -58,6 +58,11 @@ type Prefetcher interface {
 	// OnSquash notifies the engine of a front-end redirect: the FTQ was
 	// squashed and queued predictions are dead.
 	OnSquash()
+	// Reset restores the pristine just-constructed state — queues empty,
+	// cursors rewound, counters zeroed — retaining allocated storage (the
+	// layer-wide Reset contract; see ARCHITECTURE.md). The environment's
+	// structures (L1-I, PFB, hierarchy, FTQ) are reset by their owners.
+	Reset()
 	// IssueStats returns the shared issue-port counters.
 	IssueStats() PortStats
 }
@@ -139,6 +144,9 @@ func (*None) OnDemandAccess(uint64, bool, bool, int64) {}
 
 // OnSquash implements Prefetcher.
 func (*None) OnSquash() {}
+
+// Reset implements Prefetcher; the null prefetcher has no state.
+func (*None) Reset() {}
 
 // IssueStats implements Prefetcher.
 func (*None) IssueStats() PortStats { return PortStats{} }

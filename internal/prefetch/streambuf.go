@@ -155,6 +155,13 @@ func (s *StreamBuffers) OnSkip(cycles uint64) {
 // predictions; a redirect simply changes future misses.
 func (s *StreamBuffers) OnSquash() {}
 
+// Reset implements Prefetcher: every stream deallocated, counters zeroed.
+func (s *StreamBuffers) Reset() {
+	clear(s.streams)
+	s.Allocations, s.Advances = 0, 0
+	s.port.stats = PortStats{}
+}
+
 // IssueStats implements Prefetcher.
 func (s *StreamBuffers) IssueStats() PortStats { return s.port.stats }
 

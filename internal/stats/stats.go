@@ -117,6 +117,17 @@ func (h *Histogram) AddN(v int, n uint64) {
 	h.buckets[b] += n
 }
 
+// Reset discards every recorded sample, restoring the just-constructed
+// state while retaining the bucket array (part of the simulator-wide Reset
+// contract; see ARCHITECTURE.md).
+func (h *Histogram) Reset() {
+	clear(h.buckets)
+	h.over = 0
+	h.count = 0
+	h.sum = 0
+	h.max = 0
+}
+
 // Count returns the number of samples recorded.
 func (h *Histogram) Count() uint64 { return h.count }
 
