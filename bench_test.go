@@ -225,16 +225,13 @@ func BenchmarkStep(b *testing.B) {
 	b.ReportMetric(float64(sim.Cycle())/b.Elapsed().Seconds(), "cycles/s")
 }
 
-// BenchmarkRunShort measures a complete short run through the
-// event-scheduled RunContext path — construction, simulation with idle
-// skipping, and finalisation.
-func BenchmarkRunShort(b *testing.B) {
+// benchmarkRun measures complete runs of cfg through the event-scheduled
+// RunContext path — construction, simulation with idle skipping, and
+// finalisation — reporting simulated cycles per second.
+func benchmarkRun(b *testing.B, cfg Config) {
 	params := program.DefaultParams()
 	params.NumFuncs = 60
 	im := program.MustGenerate(params)
-	cfg := DefaultConfig()
-	cfg.Prefetch.Kind = PrefetchFDP
-	cfg.MaxInstrs = 50_000
 	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
@@ -247,6 +244,43 @@ func BenchmarkRunShort(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkRunShort measures a complete short run on the headline FDP
+// machine.
+func BenchmarkRunShort(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Prefetch.Kind = PrefetchFDP
+	cfg.MaxInstrs = 50_000
+	benchmarkRun(b, cfg)
+}
+
+// BenchmarkRunIdleHeavy measures the idle-heavy regime the burst scheduler
+// targets: no prefetching, a small L1-I over slow memory, and a deep FTQ —
+// most cycles are fetch stalls during which only the BPU's run-ahead acts,
+// exactly the deep-run-ahead machine the FDIP evaluation sweeps.
+func BenchmarkRunIdleHeavy(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.L1ISizeBytes = 8 * 1024
+	cfg.FTQEntries = 64
+	cfg.Mem.MemLatency = 300
+	cfg.MaxInstrs = 50_000
+	benchmarkRun(b, cfg)
+}
+
+// BenchmarkRunFilteredFDP measures the filtered fetch-directed prefetcher
+// (enqueue-side cache-probe filtering) on the same small-cache slow-memory
+// machine: the FDP scan cursor's precise next-work modelling and PIQ-full
+// bursts are what keep this config off the per-cycle stepping path.
+func BenchmarkRunFilteredFDP(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.L1ISizeBytes = 8 * 1024
+	cfg.FTQEntries = 64
+	cfg.Prefetch.Kind = PrefetchFDP
+	cfg.Prefetch.FDP.CPF = CPFConservative
+	cfg.Mem.MemLatency = 300
+	cfg.MaxInstrs = 50_000
+	benchmarkRun(b, cfg)
 }
 
 // TestStepZeroAlloc pins the zero-allocation contract of the cycle kernel at

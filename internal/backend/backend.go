@@ -91,6 +91,17 @@ type Backend struct {
 	missUop     pipe.Uop
 	redirect    pipe.Uop // stable home for the uop Tick returns on resolve
 
+	// quietUntil memoises the scheduler scan's no-issue horizon: while
+	// quietValid and now < quietUntil, no entry in the issue window can
+	// have ready operands, so both issue and NextEvent skip the window
+	// scan. Readiness depends only on regReady, the clock, and window
+	// membership, so the memo is invalidated wherever those change: an
+	// issue (regReady writes), a fill (new window entry), a squash
+	// (membership), and Reset. Commit removes only issued entries and
+	// leaves the memo valid.
+	quietUntil int64
+	quietValid bool
+
 	// OnCommit, when set, observes every committed (correct-path) uop —
 	// the core uses it for predictor/FTB training and statistics.
 	OnCommit func(u *pipe.Uop)
@@ -140,6 +151,8 @@ func (b *Backend) Reset() {
 	b.missDone = 0
 	b.missUop = pipe.Uop{}
 	b.redirect = pipe.Uop{}
+	b.quietUntil = 0
+	b.quietValid = false
 	b.Committed, b.Issued, b.Squashed = 0, 0, 0
 	b.ROBFullCycles = 0
 	b.MispredictsResolved = [5]uint64{}
@@ -223,30 +236,64 @@ func (b *Backend) NextEvent(now int64) int64 {
 				next = b.robDone[b.head]
 			}
 		}
-		examined := 0
-		pos := b.idx(b.head + b.issuedPrefix)
-		for i := b.issuedPrefix; i < b.count && examined < b.cfg.IssueWindow; i++ {
-			slot := pos
-			pos = b.idx(pos + 1)
-			if b.robIssued[slot] {
-				continue
-			}
-			examined++
-			t := now
-			if s := b.robU[slot].Instr.Src1; s != isa.NoReg && s != 0 && b.regReady[s] > t {
-				t = b.regReady[s]
-			}
-			if s := b.robU[slot].Instr.Src2; s != isa.NoReg && s != 0 && b.regReady[s] > t {
-				t = b.regReady[s]
-			}
-			if t <= now {
-				return now // an entry could issue this cycle
-			}
-			if t < next {
-				next = t
-			}
+		if w := b.windowReadyAt(now); w <= now {
+			return now // an entry could issue this cycle
+		} else if w < next {
+			next = w
 		}
 	}
+	return next
+}
+
+// readyAt returns the cycle the instruction's operands turn ready, never
+// earlier than now. Register 0 and NoReg are always ready. The quiet memo
+// is only sound while the scheduler scan (windowReadyAt) and issue agree
+// on this computation, so both call here.
+func (b *Backend) readyAt(ins *isa.Instr, now int64) int64 {
+	t := now
+	if s := ins.Src1; s != isa.NoReg && s != 0 && b.regReady[s] > t {
+		t = b.regReady[s]
+	}
+	if s := ins.Src2; s != isa.NoReg && s != 0 && b.regReady[s] > t {
+		t = b.regReady[s]
+	}
+	return t
+}
+
+// windowReadyAt returns the earliest cycle any unissued entry in the
+// scheduler window could have ready operands: now when one is ready this
+// cycle, math.MaxInt64 when the window holds none. A scan that proves the
+// window quiet records its horizon in the quiet memo, so repeat queries —
+// NextEvent after every stepped cycle, and issue's own scan — cost nothing
+// until the horizon arrives or the window changes.
+func (b *Backend) windowReadyAt(now int64) int64 {
+	if b.quietValid && now < b.quietUntil {
+		return b.quietUntil
+	}
+	next := int64(math.MaxInt64)
+	examined := 0
+	pos := b.idx(b.head + b.issuedPrefix)
+	for i := b.issuedPrefix; i < b.count && examined < b.cfg.IssueWindow; i++ {
+		slot := pos
+		pos = b.idx(pos + 1)
+		if b.robIssued[slot] {
+			continue
+		}
+		examined++
+		t := b.readyAt(&b.robU[slot].Instr, now)
+		if t <= now {
+			return now // ready: do not memoise, issue mutates this cycle
+		}
+		if t < next {
+			next = t
+		}
+	}
+	// Nothing issues before next: all examined operand-ready times are
+	// clock-independent values strictly past now, so the horizon stays
+	// exact until regReady or the window membership changes — the
+	// invalidation points documented on quietUntil.
+	b.quietUntil = next
+	b.quietValid = true
 	return next
 }
 
@@ -262,6 +309,7 @@ func (b *Backend) fill(now int64) {
 		b.robIssued[slot] = false
 		b.robDone[slot] = 0
 		b.count++
+		b.quietValid = false // a new window entry may be ready sooner
 		b.dpHead++
 		if b.dpHead == len(b.dpU) {
 			b.dpU = b.dpU[:0]
@@ -327,13 +375,18 @@ func (b *Backend) commit(now int64) {
 // issue selects ready instructions within the scheduler window. The scan
 // starts past the issued prefix — entries the original head-to-tail walk
 // would skip one by one — which keeps the per-cycle cost proportional to
-// live scheduler work instead of ROB occupancy.
+// live scheduler work instead of ROB occupancy; a valid quiet memo proves
+// the whole window operand-blocked and skips the scan outright.
 func (b *Backend) issue(now int64) {
 	for b.issuedPrefix < b.count && b.robIssued[b.idx(b.head+b.issuedPrefix)] {
 		b.issuedPrefix++
 	}
+	if b.quietValid && now < b.quietUntil {
+		return
+	}
 	issued := 0
 	examined := 0
+	quiet := int64(math.MaxInt64)
 	pos := b.idx(b.head + b.issuedPrefix)
 	for i := b.issuedPrefix; i < b.count && issued < b.cfg.IssueWidth && examined < b.cfg.IssueWindow; i++ {
 		slot := pos
@@ -343,7 +396,10 @@ func (b *Backend) issue(now int64) {
 		}
 		examined++
 		u := &b.robU[slot]
-		if !b.ready(u.Instr, now) {
+		if t := b.readyAt(&u.Instr, now); t > now {
+			if t < quiet {
+				quiet = t
+			}
 			continue
 		}
 		b.robIssued[slot] = true
@@ -359,24 +415,21 @@ func (b *Backend) issue(now int64) {
 		b.Issued++
 		issued++
 	}
-}
-
-// ready checks the register scoreboard. Register 0 and NoReg are always
-// ready.
-func (b *Backend) ready(ins isa.Instr, now int64) bool {
-	if s := ins.Src1; s != isa.NoReg && s != 0 && b.regReady[s] > now {
-		return false
+	if issued == 0 {
+		// The window is operand-blocked until quiet; remember it so the
+		// coming cycles (and NextEvent) skip the scan.
+		b.quietUntil = quiet
+		b.quietValid = true
+	} else {
+		b.quietValid = false // regReady changed under the memo
 	}
-	if s := ins.Src2; s != isa.NoReg && s != 0 && b.regReady[s] > now {
-		return false
-	}
-	return true
 }
 
 // SquashAfter removes every instruction younger than seq — ROB tail entries
 // and the whole decode pipe (anything decoded after a resolving branch is
 // younger by construction).
 func (b *Backend) SquashAfter(seq uint64) {
+	b.quietValid = false // window membership changes
 	for b.count > 0 {
 		tail := b.idx(b.head + b.count - 1)
 		if b.robU[tail].Seq <= seq {

@@ -259,39 +259,62 @@ func (p *Processor) Step() {
 // stalls, occupancy samples — are added in bulk, so results are
 // bit-identical to per-cycle stepping. When any component could act this
 // cycle the method returns without effect.
+//
+// The one component allowed to act *inside* a jump is the BPU: its
+// predictions are clock-independent, so when fetch provably cannot consume
+// them (stalled on a miss, or the stream exhausted) and the prefetcher is
+// push-inert, the burst path retires the whole stretch of one-push-per-cycle
+// Ticks in a single BPU.RunAhead call and reconstructs the exact
+// FTQ-occupancy sample trajectory the stepped cycles would have produced.
 func (p *Processor) skipIdle() {
 	now := p.now
 	target := int64(math.MaxInt64)
 
 	// Fetch engine: acts this cycle unless the stream ended, a demand miss
 	// is outstanding, decode is backpressured, or the FTQ is empty.
+	// burstOK marks the states in which fetch cannot act for the whole
+	// window *whatever the FTQ holds*, so BPU pushes inside the window
+	// cannot wake it.
 	stallUntil, stalled := p.fe.StallEvent()
 	backendFull := false
+	burstOK := false
 	switch {
 	case p.fe.Exhausted():
 		// Never fetches again; the run ends once the backend drains.
+		burstOK = true
 	case stalled:
 		if stallUntil <= now {
 			return
 		}
 		target = stallUntil
+		burstOK = true
 	case p.be.Accept() <= 0:
 		// Unblocked only by a decode-pipe drain — a backend event below.
 		backendFull = true
 	case p.q.Head() != nil:
 		return // fetch performs a demand access this cycle
 	default:
-		// Empty FTQ: refilled only by the BPU (bounded below) or by a
-		// redirect (a backend event).
+		// Empty FTQ: refilled only by the BPU (which would feed fetch the
+		// very next cycle) or by a redirect (a backend event).
 	}
 
-	// BPU: predicts every cycle the queue has room once past its redirect
-	// resume point.
-	bpuReady := now >= p.bpu.NextReady()
-	if !bpuReady {
-		target = min(target, p.bpu.NextReady())
-	} else if !p.q.Full() {
-		return
+	// BPU: NextWork reports its schedule — the redirect resume while
+	// quiesced, "now" with queue room, never while the queue is full (the
+	// queue only drains through fetch progress or a redirect, both tracked
+	// above). A BPU predicting this cycle makes the machine "busy but
+	// predictable": skipping is only legal through the burst path, which
+	// replays the pushes, so it additionally needs fetch pinned down and a
+	// prefetcher that provably ignores the new blocks.
+	bpuWork := p.bpu.NextWork(now)
+	burst := false
+	switch {
+	case bpuWork == now:
+		if !burstOK || !p.pf.PushInert() {
+			return
+		}
+		burst = true
+	case bpuWork != math.MaxInt64:
+		target = min(target, bpuWork)
 	}
 
 	if e := p.be.NextEvent(now); e <= now {
@@ -326,15 +349,48 @@ func (p *Processor) skipIdle() {
 	default:
 		p.fe.IdleNoFTQ += n
 	}
-	if bpuReady && p.q.Full() {
-		p.bpu.FullStalls += n
+	if burst {
+		p.runAheadAndSample(now, target, n)
+	} else {
+		if bpuWork == math.MaxInt64 {
+			// Ready against a full queue: every skipped Tick would have
+			// counted a full-queue stall.
+			p.bpu.FullStalls += n
+		}
+		if k := occSamplesIn(now, target); k > 0 {
+			p.ftqOcc.AddN(p.q.Len(), k)
+			p.robOcc.AddN(p.be.ROBOccupancy(), k)
+		}
 	}
 	p.pf.OnSkip(n)
-	if k := occSamplesIn(now, target); k > 0 {
-		p.ftqOcc.AddN(p.q.Len(), k)
-		p.robOcc.AddN(p.be.ROBOccupancy(), k)
-	}
 	p.now = target
+}
+
+// runAheadAndSample retires the BPU's predictions for the skipped window
+// [now, target) in one burst and reconstructs the occupancy sample
+// trajectory the stepped cycles would have produced. The stepped machine
+// pushes one block per cycle from the front of the window until the FTQ
+// fills, then counts full-queue stalls (RunAhead books those), so FTQ
+// occupancy is piecewise linear: a ramp of one per cycle over the first
+// `pushed` cycles, then a plateau. Samples land on cycles divisible by
+// 2^occSampleShift, *after* that cycle's push — at most a handful fall in
+// the ramp (it is bounded by the FTQ capacity), so those are added
+// individually and the plateau in bulk. ROB occupancy is constant across
+// the window (the backend reported no event before target).
+func (p *Processor) runAheadAndSample(now, target int64, n uint64) {
+	occ := p.q.Len()
+	pushed := p.bpu.RunAhead(n)
+	rob := p.be.ROBOccupancy()
+	rampEnd := now + int64(pushed)
+	const mask = int64(1)<<occSampleShift - 1
+	for c := (now + mask) &^ mask; c < rampEnd; c += 1 << occSampleShift {
+		p.ftqOcc.Add(occ + int(c-now) + 1)
+		p.robOcc.Add(rob)
+	}
+	if k := occSamplesIn(rampEnd, target); k > 0 {
+		p.ftqOcc.AddN(p.q.Len(), k)
+		p.robOcc.AddN(rob, k)
+	}
 }
 
 // occSamplesIn counts the occupancy sample points (cycles divisible by
@@ -359,18 +415,29 @@ func (p *Processor) Run() Result {
 	return res
 }
 
-// RunContext is Run with cooperative cancellation: the loop polls ctx every
-// 1024 iterations and returns ctx.Err() on cancellation or deadline expiry.
-// A simulator deadlock (no commit progress) is returned as an error instead
-// of panicking.
+// ctxPollCycles is the simulated-cycle cadence of cooperative-cancellation
+// polls in RunContext: the context is checked whenever at least this many
+// cycles have elapsed since the last check (with an iteration-count
+// backstop for step-heavy stretches where cycles accrue slowly). Polling on
+// cycle progress keeps timeouts prompt in both kernel regimes — an
+// iteration can retire one cycle or a multi-thousand-cycle jump.
+const ctxPollCycles = 1 << 16
+
+// RunContext is Run with cooperative cancellation: the loop polls ctx on
+// simulated-cycle progress (every >=2^16 cycles, or every 1024 iterations,
+// whichever comes first) and returns ctx.Err() on cancellation or deadline
+// expiry. A simulator deadlock (no commit progress) is returned as an error
+// instead of panicking.
 //
 // The loop is event-scheduled: after each stepped cycle it asks every
 // component for its next interesting cycle and fast-forwards idle stretches
 // (fetch stalled on a miss, FTQ full, backend waiting on operands, next
-// memory completion cycles away) in one jump. Results are bit-identical to
+// memory completion cycles away) in one jump — with the BPU's run-ahead
+// retired in bursts inside those jumps. Results are bit-identical to
 // stepping every cycle; only wall-clock time changes.
 func (p *Processor) RunContext(ctx context.Context) (Result, error) {
 	done := ctx.Done()
+	pollAt := p.now + ctxPollCycles
 	var iter uint64
 	for p.be.Committed < p.cfg.MaxInstrs && p.now < p.cfg.MaxCycles {
 		if p.fe.Exhausted() && p.be.Drained() {
@@ -384,7 +451,8 @@ func (p *Processor) RunContext(ctx context.Context) (Result, error) {
 			return Result{}, err
 		}
 		iter++
-		if done != nil && iter&1023 == 0 {
+		if done != nil && (iter&1023 == 0 || p.now >= pollAt) {
+			pollAt = p.now + ctxPollCycles
 			select {
 			case <-done:
 				return Result{}, ctx.Err()

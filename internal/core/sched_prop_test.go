@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdip/internal/oracle"
+	"fdip/internal/prefetch"
+)
+
+// randSchedConfig draws a machine over the dimensions that shape the
+// scheduler: prefetcher kind and filtering, PIQ/FTQ geometry, cache size,
+// memory latency, and bus occupancy.
+func randSchedConfig(rng *rand.Rand) Config {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 8_000
+	switch rng.Intn(4) {
+	case 0: // none
+	case 1:
+		cfg.Prefetch.Kind = PrefetchNextLine
+		cfg.Prefetch.NextLinePending = 1 + rng.Intn(8)
+	case 2:
+		cfg.Prefetch.Kind = PrefetchStream
+		cfg.Prefetch.Streams = 1 + rng.Intn(4)
+		cfg.Prefetch.StreamDepth = 1 + rng.Intn(6)
+	case 3:
+		cfg.Prefetch.Kind = PrefetchFDP
+		cfg.Prefetch.FDP.PIQSize = 2 + rng.Intn(15)
+		cfg.Prefetch.FDP.CPF = prefetch.CPFMode(rng.Intn(3))
+		cfg.Prefetch.FDP.RemoveCPF = rng.Intn(4) == 0
+	}
+	if rng.Intn(8) == 0 {
+		cfg.PerfectL1I = true
+	}
+	cfg.L1ISizeBytes = []int{4 * 1024, 8 * 1024, 16 * 1024}[rng.Intn(3)]
+	cfg.FTQEntries = []int{4, 16, 32, 64}[rng.Intn(4)]
+	cfg.Mem.MemLatency = []int{20, 70, 300}[rng.Intn(3)]
+	cfg.Mem.BusCyclesPerLine = 1 + rng.Intn(6)
+	return cfg
+}
+
+// TestSkipIdleNeverOvershoots is the scheduler's property test: across
+// randomized machines, skipIdle must never jump the clock past any
+// component's reported next event, never move it at all while some
+// component could act this cycle, and — when the burst path runs — push
+// exactly the blocks the stepped cycles would have (one per cycle until the
+// FTQ fills). It exists to catch future NextEvent/NextWork rot: a component
+// whose report drifts optimistic shows up here as an overshoot long before
+// it corrupts a Result.
+func TestSkipIdleNeverOvershoots(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xfd1b))
+	for trial := 0; trial < 32; trial++ {
+		cfg := randSchedConfig(rng)
+		im := testImage(t, rng.Int63n(1<<30), 15+rng.Intn(60))
+		p := MustNew(cfg, im, oracle.NewWalker(im, rng.Int63n(1<<30)))
+		fatal := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("trial %d (%s, ftq=%d, piq=%d, lat=%d): "+format,
+				append([]any{trial, cfg.Prefetch.Kind, cfg.FTQEntries,
+					cfg.Prefetch.FDP.PIQSize, cfg.Mem.MemLatency}, args...)...)
+		}
+		for iter := 0; iter < 200_000; iter++ {
+			if p.be.Committed >= cfg.MaxInstrs || p.now >= cfg.MaxCycles ||
+				(p.fe.Exhausted() && p.be.Drained()) {
+				break
+			}
+			p.Step()
+			if p.be.Committed >= cfg.MaxInstrs || (p.fe.Exhausted() && p.be.Drained()) {
+				break
+			}
+
+			now := p.now
+			stallUntil, stalled := p.fe.StallEvent()
+			fetchCanAct := !p.fe.Exhausted() && (!stalled || stallUntil <= now) &&
+				p.be.Accept() > 0 && p.q.Head() != nil
+			beEv := p.be.NextEvent(now)
+			pfEv := p.pf.NextEvent(now)
+			memEv := p.hier.NextCompletion()
+			bpuWork := p.bpu.NextWork(now)
+			blocks := p.bpu.Blocks
+			occ := p.q.Len()
+
+			p.skipIdle()
+			if p.now == now {
+				continue
+			}
+			moved := uint64(p.now - now)
+			switch {
+			case fetchCanAct:
+				fatal("clock moved %d while fetch could act at cycle %d", moved, now)
+			case beEv <= now:
+				fatal("clock moved %d while the backend could act at cycle %d", moved, now)
+			case pfEv <= now:
+				fatal("clock moved %d while the prefetcher could act at cycle %d", moved, now)
+			case memEv <= now:
+				fatal("clock moved %d across a due completion at cycle %d", moved, now)
+			case p.now > beEv:
+				fatal("jumped to %d past backend event %d", p.now, beEv)
+			case p.now > pfEv:
+				fatal("jumped to %d past prefetcher event %d", p.now, pfEv)
+			case p.now > memEv:
+				fatal("jumped to %d past completion %d", p.now, memEv)
+			case stalled && stallUntil > now && p.now > stallUntil:
+				fatal("jumped to %d past stall end %d", p.now, stallUntil)
+			case bpuWork > now && p.now > bpuWork:
+				fatal("jumped to %d past BPU resume %d", p.now, bpuWork)
+			case p.now > p.cfg.MaxCycles:
+				fatal("jumped to %d past MaxCycles %d", p.now, p.cfg.MaxCycles)
+			}
+			if bpuWork == now {
+				// The burst must reconstruct exactly one push per skipped
+				// cycle until the queue fills.
+				want := min(moved, uint64(p.q.Cap()-occ))
+				if got := p.bpu.Blocks - blocks; got != want {
+					fatal("burst over [%d,%d) pushed %d blocks, stepped cycles would push %d",
+						now, p.now, got, want)
+				}
+			} else if p.bpu.Blocks != blocks {
+				fatal("BPU pushed during a skip although not ready at cycle %d", now)
+			}
+		}
+	}
+}

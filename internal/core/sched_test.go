@@ -55,6 +55,24 @@ func schedConfigs() map[string]Config {
 			c.Mem.MemLatency = 300
 			c.MaxInstrs = 30_000
 		}),
+		// The burst scheduler's home regimes: long stalls with only the
+		// BPU's run-ahead active (none/slow-mem), and an FDP whose tiny
+		// PIQ is full most cycles, so bursts run under a push-inert
+		// prefetcher (small-piq).
+		"none-slow-mem": mk(func(c *Config) {
+			c.Mem.MemLatency = 300
+			c.MaxInstrs = 30_000
+		}),
+		"fdp-small-piq": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchFDP
+			c.Prefetch.FDP.PIQSize = 4
+		}),
+		"fdp-cpf-slow-mem": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchFDP
+			c.Prefetch.FDP.CPF = prefetch.CPFConservative
+			c.Mem.MemLatency = 300
+			c.MaxInstrs = 30_000
+		}),
 	}
 }
 
@@ -132,5 +150,56 @@ func TestStepAllocFreeSteadyState(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(2000, func() { p.Step() }); avg != 0 {
 		t.Fatalf("Processor.Step allocates %.2f times per cycle in steady state; want 0", avg)
+	}
+}
+
+// TestBurstKernelZeroAlloc extends the zero-allocation gate to the burst
+// path: steady-state scheduled execution — Step plus skipIdle, with the
+// BPU's RunAhead bursts and the occupancy-trajectory reconstruction firing
+// throughout — must not allocate. CI runs this alongside TestStepZeroAlloc.
+func TestBurstKernelZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1ISizeBytes = 8 * 1024
+	cfg.FTQEntries = 64
+	cfg.Mem.MemLatency = 300
+	cfg.MaxInstrs = 1 << 62
+	im := testImage(t, 9, 60)
+	p := MustNew(cfg, im, oracle.NewWalker(im, 17))
+	for i := 0; i < 200_000; i++ {
+		p.Step()
+		p.skipIdle()
+	}
+	if avg := testing.AllocsPerRun(5000, func() {
+		p.Step()
+		p.skipIdle()
+	}); avg != 0 {
+		t.Fatalf("scheduled kernel allocates %.3f times per iteration in steady state; want 0", avg)
+	}
+}
+
+// TestCancellationLatencyBounded pins RunContext's worst-case cancellation
+// latency in simulated cycles: polling happens on cycle progress (every
+// ctxPollCycles), so even a skip-heavy run — where 1024 loop iterations
+// once spanned hundreds of thousands of cycles — notices a dead context
+// within one poll window plus a single scheduler jump.
+func TestCancellationLatencyBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1ISizeBytes = 4 * 1024
+	cfg.FTQEntries = 64
+	cfg.Mem.MemLatency = 8000 // enormous stalls: jumps dwarf iteration counts
+	cfg.MaxInstrs = 1 << 62
+	cfg.MaxCycles = 1 << 62
+	im := testImage(t, 11, 40)
+	p := MustNew(cfg, im, oracle.NewWalker(im, 3))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the run starts: the poll alone ends it
+	if _, err := p.RunContext(ctx); err != context.Canceled {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	// One poll window plus one jump (bounded here by the memory stall).
+	const bound = ctxPollCycles + 2*8192
+	if p.Now() > bound {
+		t.Fatalf("cancellation noticed at cycle %d, want <= %d", p.Now(), bound)
 	}
 }

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BenchSnapshot is the machine-readable performance record cmd/fdipbench
+// emits with -benchjson: one committed snapshot per PR (BENCH_PR<n>.json)
+// forms the perf trajectory that keeps kernel-speed work honest across
+// sessions. All rates are derived from engine Stats so the snapshot is
+// consistent with the stderr summary.
+type BenchSnapshot struct {
+	// Timestamp is the RFC3339 completion time of the run.
+	Timestamp string `json:"timestamp"`
+	// GoVersion records the toolchain (runtime.Version()).
+	GoVersion string `json:"go_version"`
+	// Workers is the engine's worker-pool size; Instrs the committed-
+	// instruction budget per simulation point.
+	Workers int    `json:"workers"`
+	Instrs  uint64 `json:"instrs_per_point"`
+	// WallSeconds is the whole-suite wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Engine snapshots the raw counters (simulations, cache hits, machine
+	// pool traffic, simulated cycles and in-simulation seconds).
+	Engine Stats `json:"engine"`
+	// CyclesPerSec is the aggregate kernel speed: simulated cycles per
+	// second of in-simulation wall time over every fresh simulation.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// PoolRecyclingRate is MachinesReused / (MachinesBuilt+MachinesReused):
+	// the fraction of simulation points served by a reset recycled machine.
+	PoolRecyclingRate float64 `json:"pool_recycling_rate"`
+	// AllocsPerRun and AllocBytesPerRun are heap allocations (and bytes)
+	// per fresh simulation across the whole process, measured via
+	// runtime.MemStats deltas — the number the allocation gates bound.
+	AllocsPerRun     float64 `json:"allocs_per_run"`
+	AllocBytesPerRun float64 `json:"alloc_bytes_per_run"`
+	// Experiments lists per-experiment wall times (experiments run
+	// concurrently, so these overlap; each is the experiment's own
+	// start-to-finish span).
+	Experiments []ExperimentTime `json:"experiments"`
+}
+
+// ExperimentTime is one experiment's wall time inside a suite run.
+type ExperimentTime struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Derive fills the snapshot's rate fields from its raw counters: the
+// aggregate cycles/s, the pool recycling rate, and the per-run allocation
+// figures given process-wide allocation deltas.
+func (b *BenchSnapshot) Derive(mallocs, bytes uint64) {
+	b.CyclesPerSec = b.Engine.CyclesPerSec()
+	if total := b.Engine.MachinesBuilt + b.Engine.MachinesReused; total > 0 {
+		b.PoolRecyclingRate = float64(b.Engine.MachinesReused) / float64(total)
+	}
+	if b.Engine.Simulations > 0 {
+		b.AllocsPerRun = float64(mallocs) / float64(b.Engine.Simulations)
+		b.AllocBytesPerRun = float64(bytes) / float64(b.Engine.Simulations)
+	}
+}
+
+// WriteBenchJSON writes the snapshot as indented JSON.
+func WriteBenchJSON(w io.Writer, b *BenchSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestBenchSnapshotDeriveAndRoundTrip pins the perf-trajectory record: the
+// derived rates follow from the raw counters, and the JSON form round-trips
+// so trajectory tooling can diff BENCH_PR<n>.json files across PRs.
+func TestBenchSnapshotDeriveAndRoundTrip(t *testing.T) {
+	snap := BenchSnapshot{
+		Timestamp:   "2026-07-28T00:00:00Z",
+		GoVersion:   "go1.24",
+		Workers:     8,
+		Instrs:      1_000_000,
+		WallSeconds: 12.5,
+		Engine: Stats{
+			Simulations:     40,
+			CacheHits:       10,
+			MachinesBuilt:   4,
+			MachinesReused:  36,
+			SimulatedCycles: 80_000_000,
+			SimSeconds:      8,
+		},
+		Experiments: []ExperimentTime{{ID: "E2", WallSeconds: 3.25}},
+	}
+	snap.Derive(4_000_000, 400_000_000)
+
+	if got, want := snap.CyclesPerSec, 1e7; got != want {
+		t.Errorf("CyclesPerSec = %g, want %g", got, want)
+	}
+	if got, want := snap.PoolRecyclingRate, 0.9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PoolRecyclingRate = %g, want %g", got, want)
+	}
+	if got, want := snap.AllocsPerRun, 100_000.0; got != want {
+		t.Errorf("AllocsPerRun = %g, want %g", got, want)
+	}
+	if got, want := snap.AllocBytesPerRun, 1e7; got != want {
+		t.Errorf("AllocBytesPerRun = %g, want %g", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, &snap); err != nil {
+		t.Fatalf("WriteBenchJSON: %v", err)
+	}
+	var back BenchSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("round trip diverged:\nin:  %+v\nout: %+v", snap, back)
+	}
+
+	// A snapshot with no simulations derives zero rates, not NaNs.
+	var empty BenchSnapshot
+	empty.Derive(123, 456)
+	if empty.CyclesPerSec != 0 || empty.PoolRecyclingRate != 0 || empty.AllocsPerRun != 0 {
+		t.Errorf("empty snapshot derived non-zero rates: %+v", empty)
+	}
+}

@@ -11,6 +11,8 @@
 package frontend
 
 import (
+	"math"
+
 	"fdip/internal/bpred"
 	"fdip/internal/btb"
 	"fdip/internal/ftq"
@@ -49,10 +51,22 @@ func NewBPU(ftb *btb.TargetBuffer, dir bpred.Predictor, ras *bpred.RAS, q *ftq.Q
 // PC returns the BPU's next prediction address.
 func (b *BPU) PC() uint64 { return b.pc }
 
-// NextReady returns the earliest cycle the BPU may predict again (the
-// redirect resume time). Before that cycle Tick is a pure no-op; from it on,
-// the BPU predicts every cycle the FTQ has room.
-func (b *BPU) NextReady() int64 { return b.next }
+// NextWork returns the earliest cycle, at or after now, at which Tick could
+// change machine state: the redirect resume cycle while the BPU is quiesced
+// (before it, Tick is a pure no-op), now while the FTQ has room, and
+// math.MaxInt64 while the FTQ is full — a full queue only drains through
+// fetch progress or a redirect, both external events the scheduler already
+// tracks. (Ticks against a full queue still count full-queue stalls; the
+// scheduler batches those, like every other pure per-cycle counter.)
+func (b *BPU) NextWork(now int64) int64 {
+	if now < b.next {
+		return b.next
+	}
+	if b.q.Full() {
+		return math.MaxInt64
+	}
+	return now
+}
 
 // Redirect points the BPU at pc; prediction resumes at cycle resume.
 func (b *BPU) Redirect(pc uint64, resume int64) {
@@ -82,6 +96,37 @@ func (b *BPU) Tick(now int64) {
 		b.FullStalls++
 		return
 	}
+	b.predict()
+}
+
+// RunAhead retires up to n cycles of predictions in one call — the burst
+// mode behind the scheduler's idle jumps. A prediction consults only the
+// FTB, direction predictor, RAS, and FTQ, none of which observe the clock,
+// so n consecutive Ticks with room in the queue produce exactly the blocks
+// one RunAhead(n) does, in the same order with the same table updates. The
+// burst pushes until the FTQ fills (or n runs out) and books the remaining
+// cycles as full-queue stalls, which is precisely what the n stepped Ticks
+// would have done. It returns the number of blocks pushed; callers
+// reconstruct the FTQ-occupancy trajectory from it (one push per cycle from
+// the front of the window, then a plateau).
+//
+// RunAhead must only be called for a window in which the BPU is past its
+// redirect resume point and nothing else touches the FTQ — the caller's
+// scheduler proves fetch is stalled (or the stream exhausted) and no squash
+// can occur.
+func (b *BPU) RunAhead(n uint64) uint64 {
+	var pushed uint64
+	for pushed < n && !b.q.Full() {
+		b.predict()
+		pushed++
+	}
+	b.FullStalls += n - pushed
+	return pushed
+}
+
+// predict makes one fetch-block prediction into the FTQ. The caller has
+// already checked readiness and queue room.
+func (b *BPU) predict() {
 	histCP := b.dir.History()
 	rasCP := b.ras.Checkpoint()
 

@@ -280,7 +280,10 @@ func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64, u *pipe.Uop) 
 	if f.exhausted {
 		return true
 	}
-	rec := f.cur
+	// Read the current record in place (advance overwrites it only after
+	// the last use); copying it out was measurable at one copy per
+	// correct-path instruction.
+	rec := &f.cur
 	if rec.PC != pc {
 		panic(fmt.Sprintf("frontend: correct-path fetch at %#x but oracle expects %#x", pc, rec.PC))
 	}

@@ -1,6 +1,8 @@
 package frontend
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"fdip/internal/bpred"
@@ -419,5 +421,82 @@ func TestClassifyMiss(t *testing.T) {
 		if got != c.want {
 			t.Errorf("case %d (%v): got %v, want %v", i, c.kind, got, c.want)
 		}
+	}
+}
+
+// trainRunAheadRig seeds a rig's FTB with a small call/branch/return flow so
+// run-ahead exercises every prediction path: the conditional-branch
+// direction predictor, a call (RAS push), a return (RAS pop), and FTB
+// misses on the maximal-sequential fallback in between.
+func trainRunAheadRig(r *bpuRig) {
+	r.ftb.TrainBlock(0x1000, 4, isa.CondBranch, 0x2000)
+	r.ftb.TrainBlock(0x2000, 2, isa.Call, 0x3000)
+	r.ftb.TrainBlock(0x3000, 3, isa.Ret, 0x9000)
+}
+
+// TestBPURunAheadMatchesTicks is the burst mode's bit-identity contract:
+// RunAhead(n) must leave the BPU, FTQ, predictor tables, and RAS in exactly
+// the state n per-cycle Ticks with queue room produce — including the
+// full-queue stalls counted once the queue fills mid-burst.
+func TestBPURunAheadMatchesTicks(t *testing.T) {
+	for _, n := range []uint64{1, 3, 7, 20} {
+		stepped := newBPURig(0x1000, 8)
+		trainRunAheadRig(stepped)
+		burst := newBPURig(0x1000, 8)
+		trainRunAheadRig(burst)
+
+		for i := int64(0); i < int64(n); i++ {
+			stepped.bpu.Tick(i)
+		}
+		if pushed := burst.bpu.RunAhead(n); pushed != min(n, 8) {
+			t.Fatalf("n=%d: RunAhead pushed %d, want %d", n, pushed, min(n, 8))
+		}
+
+		if stepped.bpu.PC() != burst.bpu.PC() {
+			t.Errorf("n=%d: pc %#x vs %#x", n, stepped.bpu.PC(), burst.bpu.PC())
+		}
+		if stepped.bpu.Blocks != burst.bpu.Blocks ||
+			stepped.bpu.FTBMisses != burst.bpu.FTBMisses ||
+			stepped.bpu.FullStalls != burst.bpu.FullStalls ||
+			stepped.bpu.RASUnderflows != burst.bpu.RASUnderflows {
+			t.Errorf("n=%d: counters diverged: stepped %+v burst %+v", n, *stepped.bpu, *burst.bpu)
+		}
+		if stepped.q.Len() != burst.q.Len() {
+			t.Fatalf("n=%d: queue length %d vs %d", n, stepped.q.Len(), burst.q.Len())
+		}
+		for i := 0; i < stepped.q.Len(); i++ {
+			a, b := stepped.q.At(i), burst.q.At(i)
+			if !reflect.DeepEqual(*a, *b) {
+				t.Errorf("n=%d: block %d diverged:\nstepped: %+v\nburst:   %+v", n, i, *a, *b)
+			}
+		}
+		if stepped.ras.Checkpoint() != burst.ras.Checkpoint() {
+			t.Errorf("n=%d: RAS checkpoints diverged", n)
+		}
+		if stepped.dir.History() != burst.dir.History() {
+			t.Errorf("n=%d: predictor history diverged", n)
+		}
+	}
+}
+
+// TestBPUNextWork pins the scheduler-facing contract: resume cycle while
+// quiesced, "now" with queue room, never while the queue is full.
+func TestBPUNextWork(t *testing.T) {
+	r := newBPURig(0x1000, 2)
+	if got := r.bpu.NextWork(0); got != 0 {
+		t.Errorf("ready with room: NextWork = %d, want 0", got)
+	}
+	r.bpu.Redirect(0x1000, 5)
+	if got := r.bpu.NextWork(0); got != 5 {
+		t.Errorf("quiesced: NextWork = %d, want resume cycle 5", got)
+	}
+	if got := r.bpu.NextWork(6); got != 6 {
+		t.Errorf("past resume: NextWork = %d, want 6", got)
+	}
+	if pushed := r.bpu.RunAhead(5); pushed != 2 {
+		t.Fatalf("RunAhead into 2-entry queue pushed %d", pushed)
+	}
+	if got := r.bpu.NextWork(6); got != math.MaxInt64 {
+		t.Errorf("full queue: NextWork = %d, want MaxInt64", got)
 	}
 }

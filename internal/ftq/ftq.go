@@ -163,19 +163,27 @@ func (q *Queue) Push(b Block) bool {
 }
 
 // PushSlot begins an in-place push: it reserves the next queue slot and
-// returns it zeroed (with its reusable line buffer retained, reset to length
-// zero), or nil — counting a stall — when the queue is full. The caller
-// fills the block's fields and must then call CommitPush, which derives the
-// slot's cache-line decomposition and makes it visible. Nothing else may
-// touch the queue in between.
+// returns it, or nil — counting a stall — when the queue is full. The
+// reusable line buffer is retained (reset to length zero) and only the
+// fields an in-place builder may leave unset — EndsInCTI, CTIKind,
+// PredTaken, PredTarget, FetchedInstrs — are cleared; the caller must
+// assign Seq, Start, NumInstrs, FTBHit, HistCP, and RASCP (zeroing the
+// whole ~100-byte block per push was measurable in the prediction hot
+// path). The caller must then call CommitPush, which derives the slot's
+// cache-line decomposition and makes it visible. Nothing else may touch
+// the queue in between.
 func (q *Queue) PushSlot() *Block {
 	if q.Full() {
 		q.FullStalls++
 		return nil
 	}
 	b := &q.entries[q.wrap(q.head+q.count)]
-	lines := b.Lines[:0]
-	*b = Block{Lines: lines}
+	b.Lines = b.Lines[:0]
+	b.EndsInCTI = false
+	b.CTIKind = 0
+	b.PredTaken = false
+	b.PredTarget = 0
+	b.FetchedInstrs = 0
 	return b
 }
 
@@ -226,8 +234,8 @@ func (q *Queue) Squash() {
 
 // Reset restores the pristine just-constructed state: an empty queue with
 // counters zeroed. Each slot's reusable line buffer is retained (PushSlot
-// fully rebuilds a slot before it becomes visible, so stale block contents
-// are unobservable).
+// and its caller contract rebuild every field before a slot becomes
+// visible, so stale block contents are unobservable).
 func (q *Queue) Reset() {
 	q.head = 0
 	q.count = 0

@@ -90,6 +90,10 @@ func (n *NextLine) OnSkip(cycles uint64) {
 	}
 }
 
+// PushInert implements Prefetcher: next-line triggers come from the demand
+// stream, so FTQ pushes never wake the engine.
+func (n *NextLine) PushInert() bool { return true }
+
 // OnSquash implements Prefetcher. Next-line triggers come from the demand
 // stream, not predictions, so redirects do not invalidate them.
 func (n *NextLine) OnSquash() {}

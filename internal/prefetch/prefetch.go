@@ -51,6 +51,16 @@ type Prefetcher interface {
 	// whose Ticks NextEvent declared no-ops; the engine adds the per-cycle
 	// counters those Ticks would have bumped (e.g. bus-busy deferrals).
 	OnSkip(cycles uint64)
+	// PushInert reports whether FTQ pushes cannot wake the engine: with
+	// predicted blocks appended to the queue, Tick stays a no-op (apart
+	// from the per-cycle counters OnSkip batches) until some other event
+	// NextEvent already tracks. Engines that never scan the FTQ are
+	// always push-inert; the FDP is push-inert only while a full PIQ
+	// blocks its scan cursor. The core's burst scheduler consults this
+	// before letting the BPU run ahead inside a skipped stretch. The
+	// answer only needs to hold for windows in which NextEvent(now) is in
+	// the future and no demand access, squash, or completion intervenes.
+	PushInert() bool
 	// OnDemandAccess notifies the engine of a demand L1-I access to
 	// lineAddr and its outcome: l1Hit for a cache hit, pfbHit for a
 	// prefetch-buffer hit (mutually exclusive; both false on a full miss).
@@ -129,6 +139,9 @@ func (*None) NextEvent(int64) int64 { return math.MaxInt64 }
 
 // OnSkip implements Prefetcher.
 func (*None) OnSkip(uint64) {}
+
+// PushInert implements Prefetcher: the null prefetcher ignores the FTQ.
+func (*None) PushInert() bool { return true }
 
 // headDefers reports whether issuing line at cycle now would defer on a
 // busy bus — the one tryIssue outcome whose only per-cycle effect is the

@@ -425,3 +425,112 @@ func TestFDPKeepPIQOnSquash(t *testing.T) {
 		t.Errorf("Name = %q", f.Name())
 	}
 }
+
+// TestPushInert pins the burst-scheduler contract: engines that never scan
+// the FTQ are always push-inert; the FDP only while a full PIQ blocks its
+// scan cursor.
+func TestPushInert(t *testing.T) {
+	env := testEnv()
+	if !NewNone().PushInert() {
+		t.Error("none not push-inert")
+	}
+	if !NewNextLine(env, 4).PushInert() {
+		t.Error("nextline not push-inert")
+	}
+	if !NewStreamBuffers(env, 2, 4).PushInert() {
+		t.Error("streambuf not push-inert")
+	}
+
+	f := NewFDP(env, FDPConfig{PIQSize: 2, SkipHead: 1})
+	if f.PushInert() {
+		t.Error("FDP with PIQ room claims push-inert")
+	}
+	env.Hier.Request(0x9000, false, 0) // bus busy: candidates stay queued
+	pushBlock(env.FTQ, 0, 0x1000, 1)
+	pushBlock(env.FTQ, 1, 0x2000, 4)
+	pushBlock(env.FTQ, 2, 0x3000, 4)
+	f.Tick(0)
+	if f.PIQOccupancy() != 2 {
+		t.Fatalf("PIQ = %d, want full (2)", f.PIQOccupancy())
+	}
+	if !f.PushInert() {
+		t.Error("FDP with full PIQ not push-inert")
+	}
+}
+
+// TestFDPNextEventPIQFull is the precise scan-cursor modelling: unscanned
+// FTQ blocks behind a full PIQ no longer pin the engine to "active this
+// cycle" — the next event is the bus freeing, and the blocked scan is a
+// proven no-op in between.
+func TestFDPNextEventPIQFull(t *testing.T) {
+	env := testEnv()
+	f := NewFDP(env, FDPConfig{PIQSize: 2, SkipHead: 1})
+	env.Hier.Request(0x9000, false, 0) // bus busy until cycle 4
+	pushBlock(env.FTQ, 0, 0x1000, 1)
+	pushBlock(env.FTQ, 1, 0x2000, 4)
+	pushBlock(env.FTQ, 2, 0x3000, 4)
+	pushBlock(env.FTQ, 3, 0x4000, 4) // stays unscanned: PIQ fills first
+	f.Tick(0)
+	if f.PIQOccupancy() != 2 {
+		t.Fatalf("PIQ = %d, want 2", f.PIQOccupancy())
+	}
+
+	if got, want := f.NextEvent(1), env.Hier.BusFreeAt(); got != want {
+		t.Errorf("NextEvent with blocked scan = %d, want bus-free cycle %d", got, want)
+	}
+
+	// The blocked scan must not move any counter or the cursor.
+	type snap struct {
+		enq, filt, dup, cons uint64
+		stats                PortStats
+		piq                  int
+	}
+	take := func() snap {
+		return snap{f.Enqueued, f.FilteredProbe, f.DupInPIQ, f.ConservativeStalls, f.port.stats, f.PIQOccupancy()}
+	}
+	before := take()
+	f.Tick(1)
+	f.Tick(2)
+	after := take()
+	// Ticks against a busy bus count one deferral each; nothing else moves.
+	before.stats.DeferredBusBusy += 2
+	if before != after {
+		t.Errorf("blocked scan mutated state:\nbefore+defer: %+v\nafter:        %+v", before, after)
+	}
+
+	// OnSkip batches exactly those deferrals.
+	g := NewFDP(env, FDPConfig{PIQSize: 2, SkipHead: 1})
+	g.piq = append(g.piq, 0xdead000)
+	g.OnSkip(3)
+	if g.IssueStats().DeferredBusBusy != 3 {
+		t.Errorf("OnSkip deferrals = %d", g.IssueStats().DeferredBusBusy)
+	}
+
+	// When the bus frees, the head issues and the scan resumes.
+	f.Tick(4)
+	if f.IssueStats().Issued != 1 {
+		t.Errorf("Issued after bus freed = %d", f.IssueStats().Issued)
+	}
+	if f.NextEvent(4) != 4 {
+		t.Errorf("NextEvent with PIQ room and unscanned blocks should be now")
+	}
+}
+
+// TestFDPNextEventRemoveCPFStaysActive guards the one PIQ-populated state
+// the scheduler must never jump: remove-side probing re-checks queued
+// entries every cycle.
+func TestFDPNextEventRemoveCPFStaysActive(t *testing.T) {
+	env := testEnv()
+	f := NewFDP(env, FDPConfig{PIQSize: 2, SkipHead: 1, RemoveCPF: true})
+	env.Hier.Request(0x9000, false, 0)
+	pushBlock(env.FTQ, 0, 0x1000, 1)
+	pushBlock(env.FTQ, 1, 0x2000, 4)
+	pushBlock(env.FTQ, 2, 0x3000, 4)
+	f.Tick(0)
+	if f.PIQOccupancy() != 2 {
+		t.Fatalf("PIQ = %d", f.PIQOccupancy())
+	}
+	if got := f.NextEvent(1); got != 1 {
+		t.Errorf("RemoveCPF NextEvent = %d, want now (1)", got)
+	}
+}

@@ -151,6 +151,10 @@ func (s *StreamBuffers) OnSkip(cycles uint64) {
 	}
 }
 
+// PushInert implements Prefetcher: streams follow the demand stream, so FTQ
+// pushes never wake the engine.
+func (s *StreamBuffers) PushInert() bool { return true }
+
 // OnSquash implements Prefetcher. Streams follow the demand stream, not
 // predictions; a redirect simply changes future misses.
 func (s *StreamBuffers) OnSquash() {}
