@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B per reconstructed table/figure of the
-// paper's evaluation (experiments E1..E16, see DESIGN.md §4), plus engine
+// paper's evaluation (experiments E1..E16, see ARCHITECTURE.md), plus engine
 // benchmarks that measure batch-sweep throughput sequentially and in
 // parallel. Each experiment benchmark regenerates its table and reports
 // headline metrics; the full tables print on the first iteration.

@@ -1,9 +1,10 @@
 // Command fdipbench runs the full reconstructed evaluation (experiments
-// E1..E11 from DESIGN.md) plus the extension ablations (E12..E16) and prints
-// the paper-style tables. Experiments execute concurrently on the shared
-// simulation engine: the whole suite's job grid is swept in parallel up to
-// the worker bound, with configurations shared between experiments (e.g. the
-// no-prefetch baseline) simulated once. Ctrl-C cancels the suite promptly.
+// E1..E11, documented in ARCHITECTURE.md) plus the extension ablations
+// (E12..E16) and prints the paper-style tables. Experiments are declarative
+// sweep plans streamed concurrently through the shared simulation engine:
+// points stream back as they complete (per-result progress lines with -v),
+// with configurations shared between experiments (e.g. the no-prefetch
+// baseline) simulated once. Ctrl-C cancels the suite promptly.
 //
 //	fdipbench                       # full suite, 1M instructions per point
 //	fdipbench -instrs 250000        # quicker pass
@@ -12,6 +13,7 @@
 //	fdipbench -workers 16           # widen the simulation pool
 //	fdipbench -json                 # machine-readable tables
 //	fdipbench -cpuprofile cpu.out   # profile the kernel hot path
+//	fdipbench -trend .              # render the committed perf trajectory
 package main
 
 import (
@@ -49,8 +51,34 @@ func run() int {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchjson  = flag.String("benchjson", "", "write a machine-readable perf snapshot (cycles/s, per-experiment wall time, pool recycling, allocs/run) to this file")
+		trend      = flag.String("trend", "", "render the committed BENCH_*.json perf trajectory under this directory and exit (no simulations)")
 	)
 	flag.Parse()
+
+	if *trend != "" {
+		snaps, err := loadTrend(*trend)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdipbench: -trend: %v\n", err)
+			return 2
+		}
+		for _, t := range renderTrend(snaps) {
+			switch {
+			case *jsonOut:
+				if err := t.JSON(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "fdipbench: %v\n", err)
+					return 1
+				}
+			case *csv:
+				fmt.Printf("# %s\n", t.Title)
+				t.CSV(os.Stdout)
+				fmt.Println()
+			default:
+				t.Render(os.Stdout)
+				fmt.Println()
+			}
+		}
+		return 0
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

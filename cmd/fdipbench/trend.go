@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"fdip/internal/engine"
+	"fdip/internal/stats"
+)
+
+// trendSnapshot is one point of the committed perf trajectory: a
+// BENCH_*.json snapshot plus the label it renders under.
+type trendSnapshot struct {
+	label string
+	snap  *engine.BenchSnapshot
+}
+
+// loadTrend reads every committed BENCH_*.json trajectory file under dir,
+// in PR-sequence order: numeric suffixes compare as numbers (BENCH_PR10
+// after BENCH_PR9), ties lexicographically.
+func loadTrend(dir string) ([]trendSnapshot, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		ni, nj := trailingNum(paths[i]), trailingNum(paths[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return paths[i] < paths[j]
+	})
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json trajectory files under %s", dir)
+	}
+	out := make([]trendSnapshot, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := engine.ReadBenchJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		label := filepath.Base(path)
+		label = label[:len(label)-len(filepath.Ext(label))]
+		out = append(out, trendSnapshot{label: label, snap: snap})
+	}
+	return out, nil
+}
+
+// trailingNum extracts the number ending the path's base name (before the
+// extension), e.g. 12 from BENCH_PR12.json; -1 when there is none.
+func trailingNum(path string) int {
+	base := filepath.Base(path)
+	base = base[:len(base)-len(filepath.Ext(base))]
+	end := len(base)
+	start := end
+	for start > 0 && base[start-1] >= '0' && base[start-1] <= '9' {
+		start--
+	}
+	if start == end {
+		return -1
+	}
+	n := 0
+	for _, c := range base[start:end] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// renderTrend turns the trajectory into the perf dashboard: one summary
+// table (whole-suite wall time, aggregate kernel speed, pool recycling,
+// allocations per run, per snapshot) and one per-experiment wall-time
+// comparison table (rows = experiments, one column per snapshot).
+func renderTrend(snaps []trendSnapshot) []*stats.Table {
+	sum := stats.NewTable("perf trajectory: suite aggregates per committed snapshot",
+		"snapshot", "go", "workers", "instrs/pt", "wall s", "Mcyc/s", "recycle%", "allocs/run")
+	for _, ts := range snaps {
+		b := ts.snap
+		sum.AddRow(ts.label, b.GoVersion, b.Workers, b.Instrs,
+			b.WallSeconds, b.CyclesPerSec/1e6, 100*b.PoolRecyclingRate, b.AllocsPerRun)
+	}
+
+	// Experiment rows in first-appearance order across the trajectory, so a
+	// newly added experiment lands after the stable prefix.
+	var ids []string
+	seen := map[string]bool{}
+	for _, ts := range snaps {
+		for _, ex := range ts.snap.Experiments {
+			if !seen[ex.ID] {
+				seen[ex.ID] = true
+				ids = append(ids, ex.ID)
+			}
+		}
+	}
+	headers := make([]string, len(snaps))
+	for j, ts := range snaps {
+		headers[j] = ts.label
+	}
+	wall := stats.NewCollector[float64](ids, headers)
+	for j, ts := range snaps {
+		byID := map[string]float64{}
+		for _, ex := range ts.snap.Experiments {
+			byID[ex.ID] = ex.WallSeconds
+		}
+		for i, id := range ids {
+			wall.Put(i, j, byID[id]) // 0 when the snapshot predates the experiment
+		}
+	}
+	per := wall.Table("perf trajectory: per-experiment wall seconds", "experiment", headers,
+		func(_, _ int, v float64) any {
+			if v == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", v)
+		})
+	return []*stats.Table{sum, per}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fdip/internal/engine"
+)
+
+// repoRoot is where the committed BENCH_*.json trajectory lives.
+const repoRoot = "../.."
+
+// TestTrendOverCommittedSnapshots renders the trend dashboard over the
+// repository's committed trajectory files and checks both tables carry the
+// per-experiment and per-snapshot series.
+func TestTrendOverCommittedSnapshots(t *testing.T) {
+	snaps, err := loadTrend(repoRoot)
+	if err != nil {
+		t.Fatalf("loadTrend over committed snapshots: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no committed snapshots found")
+	}
+	tables := renderTrend(snaps)
+	if len(tables) != 2 {
+		t.Fatalf("renderTrend returned %d tables", len(tables))
+	}
+	sum, per := tables[0].String(), tables[1].String()
+	for _, ts := range snaps {
+		if !strings.Contains(sum, ts.label) {
+			t.Errorf("summary table missing snapshot %s:\n%s", ts.label, sum)
+		}
+		if !strings.Contains(per, ts.label) {
+			t.Errorf("per-experiment table missing snapshot %s:\n%s", ts.label, per)
+		}
+	}
+	for _, id := range []string{"E1", "E16"} {
+		if !strings.Contains(per, id) {
+			t.Errorf("per-experiment table missing %s:\n%s", id, per)
+		}
+	}
+}
+
+// TestBenchSnapshotRoundTripsCommitted round-trips every committed
+// trajectory file through ReadBenchJSON -> WriteBenchJSON -> ReadBenchJSON:
+// the trend dashboard must be reading exactly what -benchjson wrote.
+func TestBenchSnapshotRoundTripsCommitted(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(repoRoot, "BENCH_*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("committed snapshots: %v (%d files)", err, len(paths))
+	}
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := engine.ReadBenchJSON(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if snap.CyclesPerSec <= 0 || len(snap.Experiments) == 0 {
+			t.Errorf("%s: implausible snapshot: %+v", path, snap)
+		}
+		var buf bytes.Buffer
+		if err := engine.WriteBenchJSON(&buf, snap); err != nil {
+			t.Fatalf("%s: re-encode: %v", path, err)
+		}
+		back, err := engine.ReadBenchJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: re-decode: %v", path, err)
+		}
+		if !reflect.DeepEqual(snap, back) {
+			t.Errorf("%s: snapshot did not survive the round trip", path)
+		}
+	}
+}

@@ -1,6 +1,6 @@
-// Quickstart: build a concurrent engine, run the no-prefetch baseline and
-// fetch-directed prefetching over the same program in one two-job sweep, and
-// print the comparison.
+// Quickstart: declare a two-point sweep plan — the no-prefetch baseline and
+// fetch-directed prefetching over the same program — stream it through a
+// concurrent engine, and print the comparison.
 package main
 
 import (
@@ -28,23 +28,32 @@ func main() {
 	cfg.Prefetch.Kind = fdip.PrefetchFDP
 	cfg.Prefetch.FDP.CPF = fdip.CPFConservative
 
-	// One engine, one sweep: both machines over the same program and
-	// branch-outcome seed, simulated in parallel. Outcomes come back in
-	// job order regardless of which finishes first.
+	// The sweep as a declaration: one custom workload crossed with a
+	// two-point machine axis. Plans expand lazily — this one is tiny, but a
+	// million-point plan costs the same to build.
+	w := fdip.Workload{Name: "quickstart", Params: params, Seed: 7}
+	plan := fdip.NewPlan(base).
+		Over(w).
+		Axes(fdip.Configs(
+			fdip.Named("baseline", base),
+			fdip.Named("fdp+cpf", cfg),
+		))
+
+	// One engine, one stream: both machines simulate in parallel and each
+	// outcome arrives as it completes, tagged with its enumeration Index so
+	// collection order never matters.
 	eng := fdip.NewEngine()
-	outs, err := eng.Sweep(context.Background(), []fdip.Job{
-		{Name: "baseline", Config: base, Params: &params, Seed: 7},
-		{Name: "fdp+cpf", Config: cfg, Params: &params, Seed: 7},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, out := range outs {
+	results := make([]fdip.Result, plan.Points())
+	for out, err := range eng.Stream(context.Background(), plan) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		if out.Err != nil {
 			log.Fatalf("%s: %v", out.Job.Name, out.Err)
 		}
+		results[out.Index] = out.Result
 	}
-	baseRes, fdpRes := outs[0].Result, outs[1].Result
+	baseRes, fdpRes := results[0], results[1]
 
 	fmt.Println("--- no prefetch ---")
 	fmt.Println(baseRes)

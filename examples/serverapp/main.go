@@ -1,8 +1,8 @@
 // Serverapp: the scenario that motivates front-end prefetching — server-
-// style workloads whose instruction working sets dwarf the L1-I — run as one
-// parallel batch: the full cross product of large-footprint workloads x
-// prefetch schemes goes to Engine.Sweep in a single call, with typed
-// progress events streaming per-point completions to stderr.
+// style workloads whose instruction working sets dwarf the L1-I — declared
+// as one sweep plan: the large-footprint workload axis crossed with a
+// prefetch-scheme axis, streamed through the engine with a live per-result
+// progress line as each point lands.
 package main
 
 import (
@@ -18,65 +18,63 @@ import (
 func main() {
 	const instrs = 500_000
 
-	schemes := []struct {
-		name string
-		kind fdip.PrefetcherKind
-		cpf  fdip.CPFMode
-	}{
-		{"none", fdip.PrefetchNone, fdip.CPFOff},
-		{"nextline", fdip.PrefetchNextLine, fdip.CPFOff},
-		{"streambuf", fdip.PrefetchStream, fdip.CPFOff},
-		{"fdp", fdip.PrefetchFDP, fdip.CPFOff},
-		{"fdp+cpf", fdip.PrefetchFDP, fdip.CPFConservative},
+	mk := func(kind fdip.PrefetcherKind, cpf fdip.CPFMode) fdip.Config {
+		cfg := fdip.DefaultConfig()
+		cfg.MaxInstrs = instrs
+		cfg.Prefetch.Kind = kind
+		cfg.Prefetch.FDP.CPF = cpf
+		return cfg
 	}
+	schemes := fdip.Configs(
+		fdip.Named("none", mk(fdip.PrefetchNone, fdip.CPFOff)),
+		fdip.Named("nextline", mk(fdip.PrefetchNextLine, fdip.CPFOff)),
+		fdip.Named("streambuf", mk(fdip.PrefetchStream, fdip.CPFOff)),
+		fdip.Named("fdp", mk(fdip.PrefetchFDP, fdip.CPFOff)),
+		fdip.Named("fdp+cpf", mk(fdip.PrefetchFDP, fdip.CPFConservative)),
+	)
 
-	// Build the whole cross product as one job list.
-	var jobs []fdip.Job
 	var server []fdip.Workload
 	for _, w := range fdip.Workloads() {
-		if !w.LargeFootprint {
-			continue
-		}
-		server = append(server, w)
-		for _, s := range schemes {
-			cfg := fdip.DefaultConfig()
-			cfg.MaxInstrs = instrs
-			cfg.Prefetch.Kind = s.kind
-			cfg.Prefetch.FDP.CPF = s.cpf
-			jobs = append(jobs, fdip.Job{
-				Name:     w.Name + "/" + s.name,
-				Workload: w.Name,
-				Config:   cfg,
-			})
+		if w.LargeFootprint {
+			server = append(server, w)
 		}
 	}
 
-	eng := fdip.NewEngine(fdip.WithProgress(func(ev fdip.Event) {
-		if ev.Kind == fdip.EventJobDone {
-			fmt.Fprintln(os.Stderr, "  "+ev.String())
+	// The whole cross product is one declaration; the engine expands it
+	// lazily and keeps at most a worker pool's worth of points in flight.
+	plan := fdip.NewPlan(fdip.DefaultConfig()).Over(server...).Axes(schemes)
+
+	eng := fdip.NewEngine()
+	grid := make([][]fdip.Result, plan.NumRows())
+	for i := range grid {
+		grid[i] = make([]fdip.Result, plan.NumCols())
+	}
+	done := 0
+	for out, err := range eng.Stream(context.Background(), plan) {
+		if err != nil {
+			log.Fatal(err)
 		}
-	}))
-	outs, err := eng.Sweep(context.Background(), jobs)
-	if err != nil {
-		log.Fatal(err)
+		if out.Err != nil {
+			log.Fatalf("%s: %v", out.Job.Name, out.Err)
+		}
+		done++
+		fmt.Fprintf(os.Stderr, "  [%2d/%d] %-20s IPC %.3f (%s)\n",
+			done, plan.Points(), out.Job.Name, out.Result.IPC, out.Elapsed.Round(1e6))
+		r, c := plan.RowCol(out.Index)
+		grid[r][c] = out.Result
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "bench\tmiss/KI\tscheme\tIPC\tspeedup\tbus%\tuseful%")
+	schemeNames := plan.Cols() // the Configs axis point names, in column order
 	for i, w := range server {
-		row := outs[i*len(schemes) : (i+1)*len(schemes)]
-		for _, out := range row {
-			if out.Err != nil {
-				log.Fatalf("%s: %v", out.Job.Name, out.Err)
-			}
-		}
-		baseRes := row[0].Result
-		fmt.Fprintf(tw, "%s\t%.1f\tnone\t%.3f\t—\t%.1f\t—\n",
-			w.Name, baseRes.MissPKI, baseRes.IPC, baseRes.BusUtilPct)
-		for j, s := range schemes[1:] {
-			res := row[j+1].Result
+		baseRes := grid[i][0]
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%.3f\t—\t%.1f\t—\n",
+			w.Name, baseRes.MissPKI, schemeNames[0], baseRes.IPC, baseRes.BusUtilPct)
+		for j, name := range schemeNames[1:] {
+			res := grid[i][j+1]
 			fmt.Fprintf(tw, "\t\t%s\t%.3f\t%+.1f%%\t%.1f\t%.1f\n",
-				s.name, res.IPC, res.SpeedupPctOver(baseRes), res.BusUtilPct, res.UsefulPct)
+				name, res.IPC, res.SpeedupPctOver(baseRes), res.BusUtilPct, res.UsefulPct)
 		}
 	}
 	tw.Flush()

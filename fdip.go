@@ -7,15 +7,19 @@
 // program images, with fetch-directed prefetching, cache-probe filtering,
 // and the paper's baselines (tagged next-line prefetching, stream buffers).
 //
-// The primary surface is the concurrent Engine: a context-aware, worker-
-// pooled, memoising executor for single runs and cross-product sweeps of
-// configurations x workloads. A Job names one simulation point; Run executes
-// one, Sweep executes a batch in parallel with results in job order.
-// Identical jobs simulate once (the engine coalesces duplicates), and
-// results are bit-identical whatever the worker count, so sweeps scale
-// across cores without changing the science.
+// The primary surface is the v3 Plan/Stream pair over the concurrent
+// Engine: a context-aware, worker-pooled, memoising executor. A Plan
+// declares a parameter space from composable axes — workloads (Over), knob
+// sweeps (Vary), explicit named machines (Configs) — and expands it lazily,
+// so a million-point sweep never materializes a million-entry slice.
+// Engine.Stream ranges over a plan's outcomes as each job completes, with
+// in-flight work bounded by the worker pool and an early break cancelling
+// everything outstanding. Identical jobs simulate once (the engine
+// coalesces duplicates), and results are bit-identical whatever the worker
+// count or delivery order, so sweeps scale across cores without changing
+// the science.
 //
-// Quick start:
+// Quick start — one run:
 //
 //	eng := fdip.NewEngine(fdip.WithWorkers(8), fdip.WithInstrBudget(1_000_000))
 //	cfg := fdip.DefaultConfig()
@@ -23,20 +27,30 @@
 //	res, _ := eng.Run(context.Background(), fdip.Job{Workload: "gcc", Config: cfg})
 //	fmt.Println(res)
 //
-// A sweep compares machines across the calibrated suite:
+// A declarative sweep streams a knob axis across the calibrated suite,
+// delivering each point as it finishes:
 //
-//	var jobs []fdip.Job
-//	for _, w := range fdip.Workloads() {
-//		jobs = append(jobs,
-//			fdip.Job{Workload: w.Name, Config: fdip.DefaultConfig()},
-//			fdip.Job{Workload: w.Name, Config: cfg})
+//	plan := fdip.NewPlan(cfg).
+//		Over(fdip.Workloads()...).
+//		Axes(fdip.Vary("ftq", []int{4, 8, 16, 32}, func(c *fdip.Config, n int) {
+//			c.FTQEntries = n
+//		}).WithBaseline("base", fdip.DefaultConfig()))
+//	for out, err := range eng.Stream(ctx, plan) {
+//		if err != nil {
+//			break // context cancelled
+//		}
+//		fmt.Println(out.Job.Name, out.Result.IPC)
 //	}
+//
+// Explicit job slices still work — Sweep is the ordered collector over
+// Stream and returns one outcome per job in job order:
+//
 //	outs, _ := eng.Sweep(ctx, jobs)
 //	fdip.WriteOutcomesJSON(os.Stdout, outs) // machine-readable export
 //
 // Progress streams as typed events (WithProgress), runs honour context
-// cancellation and deadlines, and failures return as errors. See DESIGN.md
-// for the architecture and EXPERIMENTS.md for the reproduced evaluation.
+// cancellation and deadlines, and failures return as errors. See
+// ARCHITECTURE.md for the architecture and the reproduced evaluation.
 package fdip
 
 import (
@@ -83,7 +97,18 @@ type (
 	// Job names one simulation point: a Config over a named Workload or
 	// explicit ProgramParams, with an oracle seed.
 	Job = engine.Job
-	// RunOutcome pairs a job with its result (or error) inside a sweep.
+	// Plan is a declarative, lazily expanded parameter space: workloads
+	// crossed with configuration axes. Stream it, or collect it point by
+	// point.
+	Plan = engine.Plan
+	// Axis is one dimension of a Plan (a Vary knob sweep or a Configs
+	// point list).
+	Axis = engine.Axis
+	// NamedConfig is an explicit, named machine configuration — a point of
+	// a Configs axis.
+	NamedConfig = engine.NamedConfig
+	// RunOutcome pairs a job with its result (or error) inside a sweep or
+	// stream; Index is its position in plan enumeration (job-slice) order.
 	RunOutcome = engine.RunOutcome
 	// EngineStats snapshots engine counters (simulations, cache hits).
 	EngineStats = engine.Stats
@@ -126,6 +151,29 @@ func WithImageCache(c *ImageCache) Option { return engine.WithImageCache(c) }
 
 // NewImageCache builds an empty shareable image cache.
 func NewImageCache() *ImageCache { return engine.NewImageCache() }
+
+// NewPlan starts a declarative sweep plan over the given base machine.
+// Compose it with Over (workloads), Axes (Vary/Configs), Set (fixed
+// overrides), and Append (explicit jobs), then run it with Engine.Stream or
+// enumerate it with Plan.Jobs.
+func NewPlan(base Config) *Plan { return engine.NewPlan(base) }
+
+// FromJobs wraps an explicit job slice as a Plan — the bridge from the v2
+// slice-of-jobs surface to Stream.
+func FromJobs(jobs ...Job) *Plan { return engine.FromJobs(jobs...) }
+
+// Vary builds a plan axis that sweeps one configuration knob over vals,
+// labelling each point "name=value".
+func Vary[T any](name string, vals []T, apply func(*Config, T)) Axis {
+	return engine.Vary(name, vals, apply)
+}
+
+// Configs builds a plan axis of explicit full machines (each point replaces
+// the plan's base configuration wholesale).
+func Configs(points ...NamedConfig) Axis { return engine.Configs(points...) }
+
+// Named pairs a label with a full machine configuration for a Configs axis.
+func Named(name string, cfg Config) NamedConfig { return engine.Named(name, cfg) }
 
 // WriteResultJSON writes one Result as indented JSON.
 func WriteResultJSON(w io.Writer, res Result) error { return engine.WriteResultJSON(w, res) }
@@ -250,7 +298,8 @@ func WriteTrace(w io.Writer, params ProgramParams, seed int64, n uint64) error {
 
 // ReplayTrace simulates cfg over a previously written trace; the program
 // image is regenerated from the trace header. The run ends at the trace's
-// recorded horizon even if cfg.MaxInstrs is larger.
+// recorded horizon even if cfg.MaxInstrs is larger. A machine that cannot
+// make progress (deadlock) returns an error rather than panicking.
 func ReplayTrace(r io.Reader, cfg Config) (Result, error) {
 	tr, err := trace.NewReader(r)
 	if err != nil {
@@ -260,8 +309,8 @@ func ReplayTrace(r io.Reader, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return p.Run(), nil
+	return p.RunContext(context.Background())
 }
 
 // Version identifies the library release.
-const Version = "2.0.0"
+const Version = "3.0.0"

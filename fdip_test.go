@@ -237,8 +237,59 @@ func TestDeprecatedWrappersMatchEngine(t *testing.T) {
 	}
 }
 
-func TestVersionNonEmpty(t *testing.T) {
+func TestPlanStreamFacade(t *testing.T) {
+	w, ok := WorkloadByName("deltablue")
+	if !ok {
+		t.Fatal("deltablue missing")
+	}
+	fdp := DefaultConfig()
+	fdp.Prefetch.Kind = PrefetchFDP
+	plan := NewPlan(fdp).
+		Over(w).
+		Axes(Vary("ftq", []int{4, 16}, func(c *Config, n int) { c.FTQEntries = n }).
+			WithBaseline("base", DefaultConfig()))
+	if plan.Points() != 3 {
+		t.Fatalf("Points = %d", plan.Points())
+	}
+
+	eng := NewEngine(WithWorkers(2), WithInstrBudget(30_000))
+	results := make([]Result, plan.Points())
+	for out, err := range eng.Stream(context.Background(), plan) {
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		if out.Err != nil {
+			t.Fatalf("%s: %v", out.Job.Name, out.Err)
+		}
+		results[out.Index] = out.Result
+	}
+	// The streamed plan must agree with the equivalent explicit sweep.
+	cfg4, cfg16 := fdp, fdp
+	cfg4.FTQEntries = 4
+	cfg16.FTQEntries = 16
+	outs, err := NewEngine(WithWorkers(1), WithInstrBudget(30_000)).Sweep(context.Background(), []Job{
+		{Workload: w.Name, Config: DefaultConfig()},
+		{Workload: w.Name, Config: cfg4},
+		{Workload: w.Name, Config: cfg16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if results[i] != outs[i].Result {
+			t.Errorf("plan point %d diverges from the explicit sweep", i)
+		}
+	}
+	if results[1].IPC >= results[2].IPC {
+		t.Logf("note: ftq=4 IPC %.3f >= ftq=16 IPC %.3f", results[1].IPC, results[2].IPC)
+	}
+}
+
+func TestVersionIsV3(t *testing.T) {
 	if Version == "" {
 		t.Error("empty Version")
+	}
+	if !strings.HasPrefix(Version, "3.") {
+		t.Errorf("Version = %q, want a 3.x release (Plan/Stream surface)", Version)
 	}
 }

@@ -67,3 +67,13 @@ func WriteBenchJSON(w io.Writer, b *BenchSnapshot) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(b)
 }
+
+// ReadBenchJSON reads one snapshot, the inverse of WriteBenchJSON — the
+// consumption side of the committed perf trajectory (fdipbench -trend).
+func ReadBenchJSON(r io.Reader) (*BenchSnapshot, error) {
+	var b BenchSnapshot
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -49,6 +49,11 @@ type Job struct {
 type RunOutcome struct {
 	// Job is the job as resolved by the engine (name and seed filled in).
 	Job Job `json:"job"`
+	// Index is the job's position in the originating plan's enumeration
+	// order (equivalently, its index in a Sweep's job slice). Stream
+	// delivers outcomes in completion order; Index is what collectors and
+	// reducers re-order or group by.
+	Index int `json:"index"`
 	// Result holds the measurements; zero-valued when Err is non-nil.
 	Result core.Result `json:"result"`
 	// Err is the job's failure, nil on success. (JSON encodes its
@@ -220,18 +225,29 @@ func (e *Engine) Run(ctx context.Context, job Job) (core.Result, error) {
 // case unfinished jobs carry ctx's error). Results are independent of the
 // worker count: each job is deterministic in its key and duplicates are
 // coalesced by the memo cache.
+//
+// Sweep is the ordered collector over Stream: it materializes one outcome
+// per job, so for spaces too large to hold, range over Stream with a Plan
+// instead.
 func (e *Engine) Sweep(ctx context.Context, jobs []Job) ([]RunOutcome, error) {
 	outs := make([]RunOutcome, len(jobs))
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			outs[i] = e.runJob(ctx, jobs[i])
-		}(i)
+	seen := make([]bool, len(jobs))
+	for out, err := range e.StreamJobs(ctx, jobs) {
+		if err != nil {
+			break // terminal context error; unfinished jobs are filled below
+		}
+		outs[out.Index] = out
+		seen[out.Index] = true
 	}
-	wg.Wait()
-	return outs, ctx.Err()
+	if err := ctx.Err(); err != nil {
+		for i, ok := range seen {
+			if !ok {
+				outs[i] = RunOutcome{Job: jobs[i], Index: i, Err: err}
+			}
+		}
+		return outs, err
+	}
+	return outs, nil
 }
 
 // RunImage simulates cfg over an already-generated image. It takes a worker

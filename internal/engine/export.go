@@ -12,6 +12,7 @@ import (
 // downstream tooling gets machine-readable failures.
 type outcomeJSON struct {
 	Job          Job         `json:"job"`
+	Index        int         `json:"index"`
 	Result       core.Result `json:"result"`
 	Error        string      `json:"error,omitempty"`
 	Cached       bool        `json:"cached"`
@@ -21,7 +22,7 @@ type outcomeJSON struct {
 
 // MarshalJSON encodes the outcome with its error (if any) as a string.
 func (o RunOutcome) MarshalJSON() ([]byte, error) {
-	j := outcomeJSON{Job: o.Job, Result: o.Result, Cached: o.Cached,
+	j := outcomeJSON{Job: o.Job, Index: o.Index, Result: o.Result, Cached: o.Cached,
 		Elapsed: int64(o.Elapsed), CyclesPerSec: o.CyclesPerSec}
 	if o.Err != nil {
 		j.Error = o.Err.Error()
@@ -36,7 +37,7 @@ func (o *RunOutcome) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return err
 	}
-	*o = RunOutcome{Job: j.Job, Result: j.Result, Cached: j.Cached,
+	*o = RunOutcome{Job: j.Job, Index: j.Index, Result: j.Result, Cached: j.Cached,
 		Elapsed: time.Duration(j.Elapsed), CyclesPerSec: j.CyclesPerSec}
 	if j.Error != "" {
 		o.Err = jsonError(j.Error)

@@ -75,6 +75,35 @@ func TestGoldenResultChecksumPooledReuse(t *testing.T) {
 	}
 }
 
+// TestGoldenStreamChecksum pins the golden checksum on the Stream path: the
+// golden point delivered through a Plan stream must reproduce the pinned
+// result bit-identically at every worker count, regardless of delivery
+// order.
+func TestGoldenStreamChecksum(t *testing.T) {
+	job := goldenJob()
+	dirty := job
+	dirty.Seed = 24680 // a second point so delivery order is nontrivial
+	for _, workers := range []int{1, 8} {
+		e := New(WithWorkers(workers))
+		found := false
+		for out, err := range e.StreamJobs(context.Background(), []Job{dirty, job}) {
+			if err != nil || out.Err != nil {
+				t.Fatalf("workers=%d: %v / %v", workers, err, out.Err)
+			}
+			if out.Index != 1 {
+				continue
+			}
+			found = true
+			if got := resultChecksum(out.Result); got != goldenChecksum {
+				t.Errorf("workers=%d: streamed golden checksum %#x, want %#x", workers, got, goldenChecksum)
+			}
+		}
+		if !found {
+			t.Fatalf("workers=%d: golden job never streamed", workers)
+		}
+	}
+}
+
 // TestGoldenSweepIdenticalAcrossWorkerCounts runs a small mixed sweep at
 // several worker counts and requires byte-identical results, including the
 // golden point.

@@ -1,0 +1,306 @@
+package engine
+
+import (
+	"fmt"
+	"iter"
+
+	"fdip/internal/core"
+	"fdip/internal/workloads"
+)
+
+// NamedConfig pairs a display label with a full machine configuration — an
+// explicit, named point of a parameter space.
+type NamedConfig struct {
+	Name   string
+	Config core.Config
+}
+
+// Named builds a NamedConfig.
+func Named(name string, cfg core.Config) NamedConfig {
+	return NamedConfig{Name: name, Config: cfg}
+}
+
+// Axis is one dimension of a Plan's configuration space: an ordered list of
+// points, each a label plus a Config mutation. Axes are built once (O(values)
+// storage) and cross-multiplied lazily at enumeration time, so a Plan never
+// materializes its point set.
+type Axis struct {
+	// name identifies the swept knob; labels hold each point's full
+	// job-name segment ("ftq=8" for knob points, the bare point name for
+	// Configs and baseline points).
+	name   string
+	labels []string
+	apply  []func(*core.Config)
+}
+
+// Vary builds an axis that sweeps one configuration knob over vals: each
+// point applies apply(cfg, v) and is labelled "name=value". The canonical
+// use is a paper-style knob sweep:
+//
+//	engine.Vary("ftq", []int{1, 2, 4, 8}, func(c *core.Config, n int) { c.FTQEntries = n })
+func Vary[T any](name string, vals []T, apply func(*core.Config, T)) Axis {
+	a := Axis{name: name}
+	for _, v := range vals {
+		a.labels = append(a.labels, knobLabel(name, fmt.Sprint(v)))
+		a.apply = append(a.apply, func(c *core.Config) { apply(c, v) })
+	}
+	return a
+}
+
+func knobLabel(name, val string) string {
+	if name == "" {
+		return val
+	}
+	return name + "=" + val
+}
+
+// Configs builds an axis of explicit full machines: each point replaces the
+// plan's base configuration wholesale with the named Config. Because a
+// Configs point overwrites everything, list it before any Vary axis that
+// should perturb it.
+func Configs(points ...NamedConfig) Axis {
+	a := Axis{name: "config"}
+	for _, p := range points {
+		cfg := p.Config
+		a.labels = append(a.labels, p.Name)
+		a.apply = append(a.apply, func(c *core.Config) { *c = cfg })
+	}
+	return a
+}
+
+// Labeled returns a copy of the axis with the given point values relabelled
+// (len must match), for sweeps whose values don't fmt.Sprint legibly (e.g.
+// "4x8" stream-buffer geometries). Knob axes keep their "name=" prefix.
+// Call it on the freshly built axis, before WithBaseline.
+func (a Axis) Labeled(labels ...string) Axis {
+	if len(labels) != len(a.labels) {
+		panic(fmt.Sprintf("engine: Labeled(%d labels) on a %d-point axis", len(labels), len(a.labels)))
+	}
+	relabelled := make([]string, len(labels))
+	for i, l := range labels {
+		relabelled[i] = knobLabel(a.name, l)
+	}
+	a.labels = relabelled
+	return a
+}
+
+// WithBaseline returns a copy of the axis with a full-config point prepended
+// — the comparison baseline of a vs-baseline sweep. The baseline point
+// replaces the base configuration wholesale (like a Configs point) and is
+// labelled bare (no knob prefix).
+func (a Axis) WithBaseline(label string, cfg core.Config) Axis {
+	out := Axis{name: a.name}
+	out.labels = append(append(out.labels, label), a.labels...)
+	out.apply = append(append(out.apply, func(c *core.Config) { *c = cfg }), a.apply...)
+	return out
+}
+
+// Len returns the number of points on the axis.
+func (a Axis) Len() int { return len(a.labels) }
+
+// Plan is a declarative, lazily expanded parameter space: a workload axis
+// (Over) crossed with zero or more configuration axes (Axes: Vary knobs,
+// Configs point lists) over a base machine, plus optional explicit jobs
+// (Append). A Plan stores only its axes — O(workloads + axis values) — and
+// enumerates Jobs on demand, so a million-point sweep never holds a
+// million-entry slice: stream it with Engine.Stream, or collect it with
+// Engine.Sweep when the result set is small enough to hold.
+//
+// Enumeration order is fixed and worker-count independent: workloads
+// outermost (in Over order), then axes in declaration order with the last
+// axis varying fastest, then appended jobs. Engine.Stream tags each outcome
+// with its enumeration index, and RowCol recovers the (workload, config
+// point) coordinates reporting layers group by.
+type Plan struct {
+	base  core.Config
+	ws    []workloads.Workload
+	axes  []Axis
+	extra []Job
+	err   error
+}
+
+// NewPlan starts a plan over the given base machine configuration.
+func NewPlan(base core.Config) *Plan { return &Plan{base: base} }
+
+// FromJobs wraps an explicit job slice as a Plan (its points are all
+// "appended jobs"; Rows/Cols describe an empty cross product). It is the
+// bridge from the v2 slice-of-jobs world: Sweep is exactly
+// Stream(FromJobs(jobs...)) collected in job order.
+func FromJobs(jobs ...Job) *Plan {
+	return &Plan{extra: jobs}
+}
+
+// Over appends workloads to the workload axis. Off-registry workloads
+// (hand-built Workload values with custom Params) behave identically to
+// named ones: jobs carry the workload's params directly.
+func (p *Plan) Over(ws ...workloads.Workload) *Plan {
+	p.ws = append(p.ws, ws...)
+	return p
+}
+
+// OverNames appends registry workloads by name; an unknown name poisons the
+// plan (Err reports it, and Stream yields it as the terminal error).
+func (p *Plan) OverNames(names ...string) *Plan {
+	for _, name := range names {
+		w, ok := workloads.ByName(name)
+		if !ok && p.err == nil {
+			p.err = fmt.Errorf("engine: plan: unknown workload %q", name)
+		}
+		p.ws = append(p.ws, w)
+	}
+	return p
+}
+
+// Set applies a fixed override to the base configuration (shared by every
+// enumerated point that doesn't overwrite it with a Configs point).
+func (p *Plan) Set(mutate func(*core.Config)) *Plan {
+	mutate(&p.base)
+	return p
+}
+
+// Axes appends configuration axes; the cross product of all axes (last
+// varying fastest) forms the plan's configuration columns.
+func (p *Plan) Axes(axes ...Axis) *Plan {
+	p.axes = append(p.axes, axes...)
+	return p
+}
+
+// Append adds explicit jobs after the cross product — named one-off points
+// that don't fit an axis.
+func (p *Plan) Append(jobs ...Job) *Plan {
+	p.extra = append(p.extra, jobs...)
+	return p
+}
+
+// Err reports a construction error (e.g. an unknown OverNames workload).
+func (p *Plan) Err() error { return p.err }
+
+// NumCols returns the size of the configuration cross product (1 when the
+// plan has no axes: each workload runs the base machine once).
+func (p *Plan) NumCols() int {
+	n := 1
+	for _, a := range p.axes {
+		n *= a.Len()
+	}
+	return n
+}
+
+// NumRows returns the workload-axis length.
+func (p *Plan) NumRows() int { return len(p.ws) }
+
+// Points returns the total number of jobs the plan enumerates.
+func (p *Plan) Points() int {
+	n := 0
+	if len(p.ws) > 0 {
+		n = len(p.ws) * p.NumCols()
+	}
+	return n + len(p.extra)
+}
+
+// Rows returns the workload-axis labels (the reporting layer's group-by
+// rows).
+func (p *Plan) Rows() []string {
+	rows := make([]string, len(p.ws))
+	for i, w := range p.ws {
+		rows[i] = w.Name
+	}
+	return rows
+}
+
+// Cols returns one label per configuration point: the axis point labels
+// joined with "/" in enumeration order.
+func (p *Plan) Cols() []string {
+	cols := make([]string, 0, p.NumCols())
+	var rec func(prefix string, ai int)
+	rec = func(prefix string, ai int) {
+		if ai == len(p.axes) {
+			if prefix == "" {
+				prefix = "base"
+			}
+			cols = append(cols, prefix)
+			return
+		}
+		a := p.axes[ai]
+		for i := 0; i < a.Len(); i++ {
+			seg := a.labels[i]
+			if prefix != "" {
+				seg = prefix + "/" + seg
+			}
+			rec(seg, ai+1)
+		}
+	}
+	rec("", 0)
+	return cols
+}
+
+// RowCol recovers the (workload row, configuration column) coordinates of an
+// enumeration index inside the cross product. Appended jobs are outside the
+// grid: they report row == -1 and their offset in the extra list as col.
+func (p *Plan) RowCol(index int) (row, col int) {
+	grid := len(p.ws) * p.NumCols()
+	if index >= grid {
+		return -1, index - grid
+	}
+	return index / p.NumCols(), index % p.NumCols()
+}
+
+// Jobs enumerates the plan's points in order, yielding each job with its
+// enumeration index. Expansion is lazy and O(1) per yielded job (the
+// odometer and name scratch buffer are reused across points; only the job's
+// name string is freshly allocated), so breaking early or streaming a huge
+// plan never materializes the point set.
+func (p *Plan) Jobs() iter.Seq2[int, Job] {
+	return func(yield func(int, Job) bool) {
+		idx := 0
+		odo := make([]int, len(p.axes))
+		buf := make([]byte, 0, 64)
+		if p.NumCols() == 0 {
+			// An empty axis empties the whole cross product.
+			for i := range p.extra {
+				if !yield(idx, p.extra[i]) {
+					return
+				}
+				idx++
+			}
+			return
+		}
+		for wi := range p.ws {
+			w := &p.ws[wi]
+			clear(odo)
+			for {
+				cfg := p.base
+				buf = append(buf[:0], w.Name...)
+				for ai := range p.axes {
+					a := &p.axes[ai]
+					i := odo[ai]
+					a.apply[i](&cfg)
+					buf = append(buf, '/')
+					buf = append(buf, a.labels[i]...)
+				}
+				job := Job{Name: string(buf), Config: cfg, Params: &w.Params, Seed: w.Seed}
+				if !yield(idx, job) {
+					return
+				}
+				idx++
+				// Advance the odometer: last axis fastest.
+				ai := len(p.axes) - 1
+				for ; ai >= 0; ai-- {
+					odo[ai]++
+					if odo[ai] < p.axes[ai].Len() {
+						break
+					}
+					odo[ai] = 0
+				}
+				if ai < 0 {
+					break
+				}
+			}
+		}
+		for i := range p.extra {
+			if !yield(idx, p.extra[i]) {
+				return
+			}
+			idx++
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"slices"
+	"testing"
+
+	"fdip/internal/core"
+	"fdip/internal/workloads"
+)
+
+// testPlan builds a 3-axis plan over the full workload suite whose point
+// count exceeds 100k — the scale the laziness gate runs at.
+func hugePlan() *Plan {
+	ftqs := make([]int, 50)
+	for i := range ftqs {
+		ftqs[i] = i + 1
+	}
+	l1is := make([]int, 16)
+	for i := range l1is {
+		l1is[i] = (i + 1) * 4096
+	}
+	lats := make([]int, 16)
+	for i := range lats {
+		lats[i] = 10 * (i + 1)
+	}
+	return NewPlan(core.DefaultConfig()).
+		Over(workloads.All()...).
+		Axes(
+			Vary("ftq", ftqs, func(c *core.Config, n int) { c.FTQEntries = n }),
+			Vary("l1i", l1is, func(c *core.Config, n int) { c.L1ISizeBytes = n }),
+			Vary("lat", lats, func(c *core.Config, n int) { c.Mem.MemLatency = n }),
+		)
+}
+
+func TestPlanEnumerationOrderAndShape(t *testing.T) {
+	gcc, _ := workloads.ByName("gcc")
+	db, _ := workloads.ByName("deltablue")
+	p := NewPlan(core.DefaultConfig()).
+		Over(gcc, db).
+		Axes(
+			Vary("ftq", []int{4, 8}, func(c *core.Config, n int) { c.FTQEntries = n }),
+			Configs(Named("none", core.DefaultConfig()), Named("fdp", func() core.Config {
+				c := core.DefaultConfig()
+				c.Prefetch.Kind = core.PrefetchFDP
+				return c
+			}())),
+		)
+	if got, want := p.Points(), 2*2*2; got != want {
+		t.Fatalf("Points = %d, want %d", got, want)
+	}
+	if got, want := p.Rows(), []string{"gcc", "deltablue"}; !slices.Equal(got, want) {
+		t.Errorf("Rows = %v", got)
+	}
+	if got, want := p.Cols(), []string{"ftq=4/none", "ftq=4/fdp", "ftq=8/none", "ftq=8/fdp"}; !slices.Equal(got, want) {
+		t.Errorf("Cols = %v", got)
+	}
+
+	var names []string
+	var idxs []int
+	for i, job := range p.Jobs() {
+		idxs = append(idxs, i)
+		names = append(names, job.Name)
+		// The Configs point overwrites the base wholesale, so the ftq knob
+		// applied before it must be erased — and with it the FDP kind set.
+		if job.Config.FTQEntries != core.DefaultConfig().FTQEntries {
+			t.Errorf("job %q: Configs point did not overwrite FTQEntries", job.Name)
+		}
+		if job.Seed == 0 || job.Params == nil {
+			t.Errorf("job %q: workload seed/params not carried", job.Name)
+		}
+	}
+	wantNames := []string{
+		"gcc/ftq=4/none", "gcc/ftq=4/fdp", "gcc/ftq=8/none", "gcc/ftq=8/fdp",
+		"deltablue/ftq=4/none", "deltablue/ftq=4/fdp", "deltablue/ftq=8/none", "deltablue/ftq=8/fdp",
+	}
+	if !slices.Equal(names, wantNames) {
+		t.Errorf("enumeration names = %v, want %v", names, wantNames)
+	}
+	for i, idx := range idxs {
+		if i != idx {
+			t.Fatalf("index %d yielded as %d", i, idx)
+		}
+		r, col := p.RowCol(idx)
+		if r != i/4 || col != i%4 {
+			t.Errorf("RowCol(%d) = (%d,%d), want (%d,%d)", idx, r, col, i/4, i%4)
+		}
+	}
+}
+
+func TestPlanKnobAxesCompose(t *testing.T) {
+	gcc, _ := workloads.ByName("gcc")
+	p := NewPlan(core.DefaultConfig()).
+		Over(gcc).
+		Axes(
+			Vary("ftq", []int{2, 16}, func(c *core.Config, n int) { c.FTQEntries = n }),
+			Vary("lat", []int{30, 70}, func(c *core.Config, n int) { c.Mem.MemLatency = n }),
+		)
+	var got [][2]int
+	for _, job := range p.Jobs() {
+		got = append(got, [2]int{job.Config.FTQEntries, job.Config.Mem.MemLatency})
+	}
+	want := [][2]int{{2, 30}, {2, 70}, {16, 30}, {16, 70}} // last axis fastest
+	if !slices.Equal(got, want) {
+		t.Errorf("knob cross product = %v, want %v", got, want)
+	}
+}
+
+func TestPlanWithBaselineAndExtras(t *testing.T) {
+	gcc, _ := workloads.ByName("gcc")
+	base := core.DefaultConfig()
+	base.Prefetch.Kind = core.PrefetchNone
+	fdp := core.DefaultConfig()
+	fdp.Prefetch.Kind = core.PrefetchFDP
+	p := NewPlan(fdp).
+		Over(gcc).
+		Axes(Vary("ftq", []int{4, 8}, func(c *core.Config, n int) { c.FTQEntries = n }).
+			WithBaseline("base", base)).
+		Append(Job{Name: "extra", Workload: "perl", Config: core.DefaultConfig()})
+	if got := p.Points(); got != 4 {
+		t.Fatalf("Points = %d", got)
+	}
+	var kinds []core.PrefetcherKind
+	var names []string
+	for _, job := range p.Jobs() {
+		kinds = append(kinds, job.Config.Prefetch.Kind)
+		names = append(names, job.Name)
+	}
+	if want := []core.PrefetcherKind{core.PrefetchNone, core.PrefetchFDP, core.PrefetchFDP, ""}; !slices.Equal(kinds[:3], want[:3]) {
+		t.Errorf("kinds = %v (baseline point must replace the base machine)", kinds)
+	}
+	if want := []string{"gcc/base", "gcc/ftq=4", "gcc/ftq=8", "extra"}; !slices.Equal(names, want) {
+		t.Errorf("names = %v, want %v", names, want)
+	}
+	// Extras are outside the grid.
+	if r, c := p.RowCol(3); r != -1 || c != 0 {
+		t.Errorf("RowCol(extra) = (%d,%d), want (-1,0)", r, c)
+	}
+}
+
+func TestPlanOverNamesUnknownPoisons(t *testing.T) {
+	p := NewPlan(core.DefaultConfig()).OverNames("gcc", "hexray")
+	if p.Err() == nil {
+		t.Fatal("unknown workload name not reported")
+	}
+	var streamed int
+	for _, err := range New(WithWorkers(1)).Stream(t.Context(), p) {
+		streamed++
+		if err == nil {
+			t.Error("poisoned plan streamed a non-error")
+		}
+	}
+	if streamed != 1 {
+		t.Errorf("poisoned plan yielded %d pairs, want 1 terminal error", streamed)
+	}
+}
+
+// TestPlanEnumerationLazyAllocs is the allocation gate for the laziness
+// contract: enumerating a >100k-point space must allocate O(1) per yielded
+// job (the name string) and O(axes) up front — never a materialized
+// O(points) slice. A prefix walk of a huge plan must therefore cost the same
+// as a prefix walk of a small one.
+func TestPlanEnumerationLazyAllocs(t *testing.T) {
+	p := hugePlan()
+	if got := p.Points(); got < 100_000 {
+		t.Fatalf("plan has %d points; the gate needs >= 100k", got)
+	}
+
+	// Walking only the first 100 points of the 100k-point space: if Jobs()
+	// materialized the space, this would show ~2 allocs per *point*.
+	const prefix = 100
+	prefixAllocs := testing.AllocsPerRun(10, func() {
+		n := 0
+		for _, job := range p.Jobs() {
+			_ = job
+			n++
+			if n == prefix {
+				break
+			}
+		}
+	})
+	if prefixAllocs > 3*prefix {
+		t.Errorf("prefix walk of %d jobs allocated %.0f times — enumeration is not lazy", prefix, prefixAllocs)
+	}
+
+	// Full enumeration: O(1) allocations per yielded job.
+	points := p.Points()
+	fullAllocs := testing.AllocsPerRun(2, func() {
+		for _, job := range p.Jobs() {
+			_ = job
+		}
+	})
+	if perJob := fullAllocs / float64(points); perJob > 3 {
+		t.Errorf("full enumeration allocated %.2f allocs/job over %d jobs, want O(1) (<= 3)", perJob, points)
+	}
+}

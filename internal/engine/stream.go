@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"context"
+	"iter"
+	"sync"
+)
+
+// Stream executes every point of the plan and yields outcomes as each job
+// completes (completion order, not enumeration order — each outcome carries
+// its enumeration Index for callers that group or re-order). It is the v3
+// primitive Sweep is built on, and the one that scales: the plan is expanded
+// lazily with at most the worker-pool size of jobs in flight, so a
+// million-point space streams through O(workers) memory.
+//
+// Lifecycle guarantees:
+//   - Breaking out of the range loop cancels every outstanding job promptly
+//     and reclaims all worker goroutines before the iterator returns.
+//   - Per-job failures arrive as outcomes with Err set (the stream keeps
+//     going, exactly like Sweep's per-outcome errors).
+//   - A stream-level failure — ctx cancelled or expired, or a malformed plan
+//     — is yielded once as a terminal (zero RunOutcome, error) pair after
+//     which the iterator stops. Jobs not yet spawned at cancellation are
+//     never started.
+//
+// Results are bit-identical whatever the worker count or consumption order:
+// every job is deterministic in its memo key and duplicates coalesce.
+func (e *Engine) Stream(ctx context.Context, p *Plan) iter.Seq2[RunOutcome, error] {
+	return func(yield func(RunOutcome, error) bool) {
+		if err := p.Err(); err != nil {
+			yield(RunOutcome{}, err)
+			return
+		}
+		parent := ctx
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		results := make(chan RunOutcome)
+		// slots bounds in-flight jobs (spawned but not yet delivered) to the
+		// worker-pool size: enumeration stays just ahead of execution instead
+		// of materializing the plan.
+		slots := make(chan struct{}, e.workers)
+		go func() {
+			var wg sync.WaitGroup
+			for i, job := range p.Jobs() {
+				// Checking Err first keeps the stop deterministic: once the
+				// context dies, freed slots must not re-enter the select
+				// coin-flip and expand more of the plan.
+				stop := ctx.Err() != nil
+				if !stop {
+					select {
+					case slots <- struct{}{}:
+					case <-ctx.Done():
+						stop = true
+					}
+				}
+				if stop {
+					break
+				}
+				wg.Add(1)
+				go func(i int, job Job) {
+					defer wg.Done()
+					out := e.runJob(ctx, job)
+					out.Index = i
+					select {
+					case results <- out:
+					case <-ctx.Done():
+						// Consumer broke out of the loop; the drain below
+						// reaps us.
+					}
+					<-slots
+				}(i, job)
+			}
+			wg.Wait()
+			close(results)
+		}()
+
+		for out := range results {
+			if !yield(out, nil) {
+				// Early break: cancel outstanding jobs and drain until the
+				// spawner closes the channel, so no goroutine leaks.
+				cancel()
+				for range results {
+				}
+				return
+			}
+		}
+		if err := parent.Err(); err != nil {
+			yield(RunOutcome{}, err)
+		}
+	}
+}
+
+// StreamJobs streams an explicit job slice: Stream(ctx, FromJobs(jobs...)).
+func (e *Engine) StreamJobs(ctx context.Context, jobs []Job) iter.Seq2[RunOutcome, error] {
+	return e.Stream(ctx, FromJobs(jobs...))
+}

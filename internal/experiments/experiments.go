@@ -1,14 +1,17 @@
 // Package experiments implements the paper's evaluation: one entry point per
-// reconstructed table/figure (E1..E11 in DESIGN.md) plus the extension
-// ablations (E12..E16), each returning a text table with the same
-// rows/series the paper reports.
+// reconstructed table/figure (E1..E11, documented in ARCHITECTURE.md) plus
+// the extension ablations (E12..E16), each returning a text table with the
+// same rows/series the paper reports.
 //
-// The suite runs on the concurrent simulation engine: every experiment
-// expands to a job grid (workloads x configurations) that is swept in
-// parallel up to the runner's worker bound, with results memoised so
-// configurations shared between experiments (e.g. the no-prefetch baseline)
-// simulate once. Entry points take a context and return errors; nothing in
-// this package panics.
+// Every experiment is a declaration: a Plan (the workload axis crossed with
+// configuration axes over a base machine) streamed through the shared
+// simulation engine into a stats.Collector, then reduced to its table shape
+// (vs-baseline sweep, paired-baseline sweep, long-form metrics, gmean
+// footers). Results arrive in completion order with bounded in-flight work;
+// the collector re-orders them, so tables are bit-identical whatever the
+// worker count, and configurations shared between experiments (e.g. the
+// no-prefetch baseline) simulate once. Entry points take a context and
+// return errors; nothing in this package panics.
 package experiments
 
 import (
@@ -53,7 +56,7 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Runner executes experiment job grids on a shared memoising engine.
+// Runner executes experiment plans on a shared memoising engine.
 type Runner struct {
 	opts Options
 	eng  *engine.Engine
@@ -101,31 +104,38 @@ func (r *Runner) Run(ctx context.Context, w workloads.Workload, cfg core.Config)
 	return r.eng.Run(ctx, job(w, cfg))
 }
 
-// grid sweeps the full workload x config cross product in parallel and
-// returns results indexed [workload][config].
-func (r *Runner) grid(ctx context.Context, ws []workloads.Workload, cfgs []core.Config) ([][]core.Result, error) {
-	jobs := make([]engine.Job, 0, len(ws)*len(cfgs))
-	for _, w := range ws {
-		for _, cfg := range cfgs {
-			jobs = append(jobs, job(w, cfg))
+// Collect streams every point of the plan through the engine and gathers the
+// results into a workloads x configuration-points collector, failing on the
+// first job error. This is the bridge every experiment reduces its table
+// from: delivery is completion-order and memory in flight is bounded by the
+// worker pool; the collector restores (row, col) order.
+func (r *Runner) Collect(ctx context.Context, p *engine.Plan) (*stats.Collector[core.Result], error) {
+	c := stats.NewCollector[core.Result](p.Rows(), p.Cols())
+	for out, err := range r.eng.Stream(ctx, p) {
+		if err != nil {
+			return nil, err
 		}
+		if out.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", out.Job.Name, out.Err)
+		}
+		row, col := p.RowCol(out.Index)
+		if row < 0 {
+			// Appended jobs live outside the grid; a collector cannot place
+			// them, and silently dropping them would break Complete's
+			// accounting the other way. (Nothing in this package panics.)
+			return nil, fmt.Errorf("experiments: job %q is outside the plan's workload x config grid (Append'ed jobs cannot be collected)", out.Job.Name)
+		}
+		c.Put(row, col, out.Result)
 	}
-	outs, err := r.eng.Sweep(ctx, jobs)
-	if err != nil {
+	if err := c.Complete(); err != nil {
 		return nil, err
 	}
-	res := make([][]core.Result, len(ws))
-	for i := range ws {
-		res[i] = make([]core.Result, len(cfgs))
-		for j := range cfgs {
-			out := outs[i*len(cfgs)+j]
-			if out.Err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", out.Job.Name, out.Err)
-			}
-			res[i][j] = out.Result
-		}
-	}
-	return res, nil
+	return c, nil
+}
+
+// plan starts an experiment plan: the given workloads over base.
+func plan(ws []workloads.Workload, base core.Config) *engine.Plan {
+	return engine.NewPlan(base).Over(ws...)
 }
 
 // baselineConfig is the no-prefetch machine at the given L1-I size.
@@ -160,12 +170,27 @@ func schemeConfigs(l1iBytes int) []core.Config {
 
 var schemeNames = []string{"nextline", "streambuf", "fdp", "fdp+cpf"}
 
+// schemesAxis is the headline comparison axis at one L1-I size, optionally
+// led by the no-prefetch baseline point.
+func schemesAxis(l1iBytes int, baseLabel string) engine.Axis {
+	cfgs := schemeConfigs(l1iBytes)
+	points := make([]engine.NamedConfig, len(cfgs))
+	for i, cfg := range cfgs {
+		points[i] = engine.Named(schemeNames[i], cfg)
+	}
+	a := engine.Configs(points...)
+	if baseLabel != "" {
+		a = a.WithBaseline(baseLabel, baselineConfig(l1iBytes))
+	}
+	return a
+}
+
 // E1Characterization reproduces the benchmark characterisation table:
 // footprint, baseline performance, and branch behaviour per workload.
 func E1Characterization(ctx context.Context, r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("E1: workload characterisation (no-prefetch baseline, 16KB L1-I)",
 		"bench", "class", "code KB", "static br", "IPC", "miss/KI", "brMPKI", "cond acc%", "FTB hit%")
-	grid, err := r.grid(ctx, r.opts.Workloads, []core.Config{baselineConfig(16 * 1024)})
+	c, err := r.Collect(ctx, plan(r.opts.Workloads, baselineConfig(16*1024)))
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +199,7 @@ func E1Characterization(ctx context.Context, r *Runner) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := grid[i][0]
+		res := c.At(i, 0)
 		class := "client"
 		if w.LargeFootprint {
 			class = "server"
@@ -186,30 +211,20 @@ func E1Characterization(ctx context.Context, r *Runner) (*stats.Table, error) {
 }
 
 // speedupTable builds the per-benchmark % speedup comparison at one cache
-// size — the paper's headline figure shape.
+// size — the paper's headline figure shape: the scheme axis against the
+// shared no-prefetch baseline, with a gmean footer reduced over the rows.
 func speedupTable(ctx context.Context, r *Runner, title string, l1iBytes int) (*stats.Table, error) {
-	t := stats.NewTable(title, append([]string{"bench"}, schemeNames...)...)
-	cfgs := append([]core.Config{baselineConfig(l1iBytes)}, schemeConfigs(l1iBytes)...)
-	grid, err := r.grid(ctx, r.opts.Workloads, cfgs)
+	c, err := r.Collect(ctx, plan(r.opts.Workloads, core.DefaultConfig()).
+		Axes(schemesAxis(l1iBytes, "base")))
 	if err != nil {
 		return nil, err
 	}
-	gains := make([][]float64, len(schemeNames))
-	for i, w := range r.opts.Workloads {
-		base := grid[i][0]
-		row := []interface{}{w.Name}
-		for j := range schemeNames {
-			g := grid[i][j+1].SpeedupPctOver(base)
-			gains[j] = append(gains[j], g)
-			row = append(row, fmt.Sprintf("%+.1f%%", g))
-		}
-		t.AddRow(row...)
+	t := c.TableVsBaseline(title, "bench", schemeNames, 0, speedupCell)
+	footer := []interface{}{"gmean"}
+	for _, g := range c.ReduceCols(0, core.Result.SpeedupPctOver, stats.GmeanSpeedupPct) {
+		footer = append(footer, fmt.Sprintf("%+.1f%%", g))
 	}
-	grow := []interface{}{"gmean"}
-	for i := range schemeNames {
-		grow = append(grow, fmt.Sprintf("%+.1f%%", stats.GmeanSpeedupPct(gains[i])))
-	}
-	t.AddRow(grow...)
+	t.AddRow(footer...)
 	return t, nil
 }
 
@@ -225,21 +240,14 @@ func E3SpeedupLargeCache(ctx context.Context, r *Runner) (*stats.Table, error) {
 
 // E4BusUtilization compares bandwidth cost per scheme.
 func E4BusUtilization(ctx context.Context, r *Runner) (*stats.Table, error) {
-	t := stats.NewTable("E4: L1↔L2 bus utilisation (%), 16KB L1-I",
-		append([]string{"bench", "none"}, schemeNames...)...)
-	cfgs := append([]core.Config{baselineConfig(16 * 1024)}, schemeConfigs(16*1024)...)
-	grid, err := r.grid(ctx, r.opts.Workloads, cfgs)
+	c, err := r.Collect(ctx, plan(r.opts.Workloads, core.DefaultConfig()).
+		Axes(schemesAxis(16*1024, "none")))
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range r.opts.Workloads {
-		row := []interface{}{w.Name}
-		for j := range cfgs {
-			row = append(row, grid[i][j].BusUtilPct)
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
+	return c.Table("E4: L1↔L2 bus utilisation (%), 16KB L1-I", "bench",
+		append([]string{"none"}, schemeNames...),
+		func(_, _ int, res core.Result) any { return res.BusUtilPct }), nil
 }
 
 // filterVariants are the cache-probe-filtering configurations of E5.
@@ -264,28 +272,25 @@ func filterVariants() (names []string, cfgs []core.Config) {
 }
 
 // E5CacheProbeFiltering evaluates the paper's filtering mechanisms: speedup
-// retained vs bus traffic removed.
+// retained vs bus traffic removed, in long form (one row per workload x
+// filter policy).
 func E5CacheProbeFiltering(ctx context.Context, r *Runner) (*stats.Table, error) {
-	t := stats.NewTable("E5: FDP cache-probe filtering (large-footprint workloads, 16KB L1-I)",
-		"bench", "filter", "speedup", "bus%", "useful%", "issued/KI")
-	names, variants := filterVariants()
-	ws := r.suiteLarge()
-	cfgs := append([]core.Config{baselineConfig(16 * 1024)}, variants...)
-	grid, err := r.grid(ctx, ws, cfgs)
+	names, cfgs := filterVariants()
+	points := make([]engine.NamedConfig, len(cfgs))
+	for i, cfg := range cfgs {
+		points[i] = engine.Named(names[i], cfg)
+	}
+	c, err := r.Collect(ctx, plan(r.suiteLarge(), core.DefaultConfig()).
+		Axes(engine.Configs(points...).WithBaseline("base", baselineConfig(16*1024))))
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range ws {
-		base := grid[i][0]
-		for j, name := range names {
-			res := grid[i][j+1]
-			t.AddRow(w.Name, name,
-				fmt.Sprintf("%+.1f%%", res.SpeedupPctOver(base)),
-				res.BusUtilPct, res.UsefulPct,
-				stats.PerKilo(res.PrefetchIssued, res.Committed))
-		}
-	}
-	return t, nil
+	return c.TableLong("E5: FDP cache-probe filtering (large-footprint workloads, 16KB L1-I)",
+		[]string{"bench", "filter", "speedup", "bus%", "useful%", "issued/KI"}, 0,
+		func(res, base core.Result) []any {
+			return []any{speedupCell(res, base), res.BusUtilPct, res.UsefulPct,
+				stats.PerKilo(res.PrefetchIssued, res.Committed)}
+		}), nil
 }
 
 func (r *Runner) suiteLarge() []workloads.Workload {
@@ -301,30 +306,22 @@ func (r *Runner) suiteLarge() []workloads.Workload {
 	return out
 }
 
-// sweepVsBaseline renders the common "speedup vs knob" figure shape: one row
-// per large-footprint workload, one column per configuration, each cell the
-// speedup over the shared 16KB no-prefetch baseline, formatted by cell.
-func sweepVsBaseline(ctx context.Context, r *Runner, title string, headers []string,
-	cfgs []core.Config, cell func(res, base core.Result) string) (*stats.Table, error) {
-	t := stats.NewTable(title, append([]string{"bench"}, headers...)...)
-	ws := r.suiteLarge()
-	all := append([]core.Config{baselineConfig(16 * 1024)}, cfgs...)
-	grid, err := r.grid(ctx, ws, all)
+// knobSweep renders the common "speedup vs knob" figure shape: the knob axis
+// over the prefetching base machine, led by the shared 16KB no-prefetch
+// baseline, one row per large-footprint workload, each cell reduced from
+// (point, baseline).
+func knobSweep(ctx context.Context, r *Runner, title string, base core.Config,
+	axis engine.Axis, headers []string, cell func(res, base core.Result) any) (*stats.Table, error) {
+	c, err := r.Collect(ctx, plan(r.suiteLarge(), base).
+		Axes(axis.WithBaseline("base", baselineConfig(16*1024))))
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range ws {
-		base := grid[i][0]
-		row := []interface{}{w.Name}
-		for j := range cfgs {
-			row = append(row, cell(grid[i][j+1], base))
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
+	return c.TableVsBaseline(title, "bench", headers, 0, cell), nil
 }
 
-func speedupCell(res, base core.Result) string {
+// speedupCell is the baseline-relative speedup reducer most sweeps render.
+func speedupCell(res, base core.Result) any {
 	return fmt.Sprintf("%+.1f%%", res.SpeedupPctOver(base))
 }
 
@@ -332,57 +329,43 @@ func speedupCell(res, base core.Result) string {
 // prefetch opportunity; depth 1 degenerates to a coupled front end.
 func E6FTQSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	sizes := []int{1, 2, 4, 8, 16, 32, 64}
-	cfgs := make([]core.Config, len(sizes))
-	for i, n := range sizes {
-		cfg := core.DefaultConfig()
-		cfg.Prefetch.Kind = core.PrefetchFDP
-		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
-		cfg.FTQEntries = n
-		cfgs[i] = cfg
-	}
-	return sweepVsBaseline(ctx, r, "E6: FDP+CPF speedup vs FTQ depth (entries), 16KB L1-I",
-		intHeaders(sizes), cfgs, speedupCell)
+	return knobSweep(ctx, r, "E6: FDP+CPF speedup vs FTQ depth (entries), 16KB L1-I",
+		fdpCPF(), engine.Vary("ftq", sizes, func(c *core.Config, n int) { c.FTQEntries = n }),
+		intHeaders(sizes), speedupCell)
 }
 
 // E7PrefetchBufferSweep sizes the prefetch buffer.
 func E7PrefetchBufferSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	sizes := []int{8, 16, 32, 64, 128}
-	cfgs := make([]core.Config, len(sizes))
-	for i, n := range sizes {
-		cfg := core.DefaultConfig()
-		cfg.Prefetch.Kind = core.PrefetchFDP
-		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
-		cfg.PrefetchBufferEntries = n
-		cfgs[i] = cfg
-	}
-	return sweepVsBaseline(ctx, r, "E7: FDP+CPF speedup vs prefetch buffer entries, 16KB L1-I",
-		intHeaders(sizes), cfgs, speedupCell)
+	return knobSweep(ctx, r, "E7: FDP+CPF speedup vs prefetch buffer entries, 16KB L1-I",
+		fdpCPF(), engine.Vary("pfb", sizes, func(c *core.Config, n int) { c.PrefetchBufferEntries = n }),
+		intHeaders(sizes), speedupCell)
+}
+
+// schemeOnOffAxis is the paired-baseline inner axis: each outer knob value
+// runs its own no-prefetch baseline and its FDP+CPF machine.
+func schemeOnOffAxis() engine.Axis {
+	return engine.Vary("scheme", []bool{false, true}, func(c *core.Config, fdp bool) {
+		if fdp {
+			c.Prefetch.Kind = core.PrefetchFDP
+			c.Prefetch.FDP.CPF = prefetch.CPFConservative
+		}
+	}).Labeled("none", "fdp+cpf")
 }
 
 // pairedKnobSweep renders the "speedup vs knob" figure shape for knobs that
-// change the baseline machine too: each pair holds that knob value's own
-// no-prefetch baseline and its prefetching machine, and each cell is the
-// speedup of the pair's second config over its first.
-func pairedKnobSweep(ctx context.Context, r *Runner, title string, headers []string,
-	pairs [][2]core.Config) (*stats.Table, error) {
-	t := stats.NewTable(title, append([]string{"bench"}, headers...)...)
-	cfgs := make([]core.Config, 0, 2*len(pairs))
-	for _, p := range pairs {
-		cfgs = append(cfgs, p[0], p[1])
-	}
-	ws := r.suiteLarge()
-	grid, err := r.grid(ctx, ws, cfgs)
+// change the baseline machine too: the knob axis crossed with the on/off
+// scheme axis, so each knob value holds its own (baseline, prefetching)
+// pair, and each cell is the pair's speedup.
+func pairedKnobSweep(ctx context.Context, r *Runner, title string,
+	knob engine.Axis, headers []string) (*stats.Table, error) {
+	c, err := r.Collect(ctx, plan(r.suiteLarge(), core.DefaultConfig()).
+		Axes(knob, schemeOnOffAxis()))
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range ws {
-		row := []interface{}{w.Name}
-		for j := range pairs {
-			row = append(row, speedupCell(grid[i][2*j+1], grid[i][2*j]))
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
+	return c.TablePaired(title, "bench", headers,
+		func(res, base core.Result) any { return speedupCell(res, base) }), nil
 }
 
 // E8LatencySensitivity grows the memory latency; prefetching hides more of a
@@ -390,51 +373,33 @@ func pairedKnobSweep(ctx context.Context, r *Runner, title string, headers []str
 // own baseline (the knob changes the baseline machine too).
 func E8LatencySensitivity(ctx context.Context, r *Runner) (*stats.Table, error) {
 	lats := []int{30, 70, 140, 280}
-	pairs := make([][2]core.Config, len(lats))
-	for i, lat := range lats {
-		base := core.DefaultConfig()
-		base.Mem.MemLatency = lat
-		fdp := base
-		fdp.Prefetch.Kind = core.PrefetchFDP
-		fdp.Prefetch.FDP.CPF = prefetch.CPFConservative
-		pairs[i] = [2]core.Config{base, fdp}
-	}
 	return pairedKnobSweep(ctx, r, "E8: FDP+CPF speedup vs memory latency (cycles), 16KB L1-I",
-		intHeaders(lats), pairs)
+		engine.Vary("lat", lats, func(c *core.Config, lat int) { c.Mem.MemLatency = lat }),
+		intHeaders(lats))
 }
 
-// E9CoverageAccuracy tabulates prefetch quality per scheme.
+// E9CoverageAccuracy tabulates prefetch quality per scheme, in long form.
 func E9CoverageAccuracy(ctx context.Context, r *Runner) (*stats.Table, error) {
-	t := stats.NewTable("E9: prefetch coverage and accuracy, 16KB L1-I",
-		"bench", "scheme", "coverage%", "cov+partial%", "useful%", "issued/KI")
-	grid, err := r.grid(ctx, r.opts.Workloads, schemeConfigs(16*1024))
+	c, err := r.Collect(ctx, plan(r.opts.Workloads, core.DefaultConfig()).
+		Axes(schemesAxis(16*1024, "")))
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range r.opts.Workloads {
-		for j, name := range schemeNames {
-			res := grid[i][j]
-			t.AddRow(w.Name, name, res.CoveragePct, res.PartialPct,
-				res.UsefulPct, stats.PerKilo(res.PrefetchIssued, res.Committed))
-		}
-	}
-	return t, nil
+	return c.TableLong("E9: prefetch coverage and accuracy, 16KB L1-I",
+		[]string{"bench", "scheme", "coverage%", "cov+partial%", "useful%", "issued/KI"}, -1,
+		func(res, _ core.Result) []any {
+			return []any{res.CoveragePct, res.PartialPct, res.UsefulPct,
+				stats.PerKilo(res.PrefetchIssued, res.Committed)}
+		}), nil
 }
 
 // E10FTBSweep is the BTB-reach ablation: FDP effectiveness tracks how much
 // of the branch working set the FTB holds.
 func E10FTBSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	sets := []int{64, 128, 256, 512, 1024, 2048}
-	cfgs := make([]core.Config, len(sets))
-	for i, n := range sets {
-		cfg := core.DefaultConfig()
-		cfg.Prefetch.Kind = core.PrefetchFDP
-		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
-		cfg.FTB.Sets = n
-		cfgs[i] = cfg
-	}
-	return sweepVsBaseline(ctx, r, "E10: FDP+CPF speedup and FTB hit rate vs FTB sets (4-way), 16KB L1-I",
-		intHeaders(sets), cfgs, func(res, base core.Result) string {
+	return knobSweep(ctx, r, "E10: FDP+CPF speedup and FTB hit rate vs FTB sets (4-way), 16KB L1-I",
+		fdpCPF(), engine.Vary("ftb", sets, func(c *core.Config, n int) { c.FTB.Sets = n }),
+		intHeaders(sets), func(res, base core.Result) any {
 			return fmt.Sprintf("%+.1f%%/%.0f%%", res.SpeedupPctOver(base), res.FTBHitRatePct)
 		})
 }
@@ -442,33 +407,26 @@ func E10FTBSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 // E11Ablation checks robustness: direction predictor quality and
 // block-oriented vs conventional BTB organisation.
 func E11Ablation(ctx context.Context, r *Runner) (*stats.Table, error) {
-	t := stats.NewTable("E11: ablations (FDP+CPF, 16KB L1-I): IPC by predictor and BTB organisation",
-		"bench", "hybrid", "gshare", "local", "bimodal", "conventional-BTB")
 	mk := func(pred string, blockOriented bool) core.Config {
-		cfg := core.DefaultConfig()
-		cfg.Prefetch.Kind = core.PrefetchFDP
-		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+		cfg := fdpCPF()
 		cfg.PredictorName = pred
 		cfg.FTB.BlockOriented = blockOriented
 		return cfg
 	}
-	cfgs := []core.Config{
-		mk("hybrid", true), mk("gshare", true), mk("local", true),
-		mk("bimodal", true), mk("hybrid", false),
-	}
-	ws := r.suiteLarge()
-	grid, err := r.grid(ctx, ws, cfgs)
+	headers := []string{"hybrid", "gshare", "local", "bimodal", "conventional-BTB"}
+	c, err := r.Collect(ctx, plan(r.suiteLarge(), core.DefaultConfig()).
+		Axes(engine.Configs(
+			engine.Named("hybrid", mk("hybrid", true)),
+			engine.Named("gshare", mk("gshare", true)),
+			engine.Named("local", mk("local", true)),
+			engine.Named("bimodal", mk("bimodal", true)),
+			engine.Named("conventional-BTB", mk("hybrid", false)),
+		)))
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range ws {
-		row := []interface{}{w.Name}
-		for j := range cfgs {
-			row = append(row, grid[i][j].IPC)
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
+	return c.Table("E11: ablations (FDP+CPF, 16KB L1-I): IPC by predictor and BTB organisation",
+		"bench", headers, func(_, _ int, res core.Result) any { return res.IPC }), nil
 }
 
 // Experiment names one runnable experiment of the suite.

@@ -5,13 +5,15 @@ import (
 	"fmt"
 
 	"fdip/internal/core"
+	"fdip/internal/engine"
 	"fdip/internal/prefetch"
 	"fdip/internal/stats"
 )
 
 // This file holds the extension experiments (E12..E16): ablations beyond the
-// reconstructed 1999 evaluation that probe the design decisions DESIGN.md
-// calls out. They reuse the same Runner/engine machinery.
+// reconstructed 1999 evaluation that probe the design decisions
+// ARCHITECTURE.md calls out. They are Plan + reducer declarations over the
+// same Runner/engine machinery as the main suite.
 
 // fdpCPF returns the standard FDP+conservative-CPF machine at 16KB.
 func fdpCPF() core.Config {
@@ -24,30 +26,21 @@ func fdpCPF() core.Config {
 // E12WrongPathPIQ ablates the redirect policy: discard queued prefetch
 // candidates on a squash (the paper's policy) vs keep them in flight.
 func E12WrongPathPIQ(ctx context.Context, r *Runner) (*stats.Table, error) {
-	t := stats.NewTable("E12 (ext): PIQ policy on redirect — discard vs keep wrong-path candidates",
-		"bench", "policy", "speedup", "bus%", "useful%")
-	policies := []string{"discard", "keep"}
-	cfgs := []core.Config{baselineConfig(16 * 1024)}
-	for _, keep := range []bool{false, true} {
-		cfg := fdpCPF()
-		cfg.Prefetch.FDP.KeepPIQOnSquash = keep
-		cfgs = append(cfgs, cfg)
-	}
-	ws := r.suiteLarge()
-	grid, err := r.grid(ctx, ws, cfgs)
+	keep := fdpCPF()
+	keep.Prefetch.FDP.KeepPIQOnSquash = true
+	c, err := r.Collect(ctx, plan(r.suiteLarge(), core.DefaultConfig()).
+		Axes(engine.Configs(
+			engine.Named("discard", fdpCPF()),
+			engine.Named("keep", keep),
+		).WithBaseline("base", baselineConfig(16*1024))))
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range ws {
-		base := grid[i][0]
-		for j, policy := range policies {
-			res := grid[i][j+1]
-			t.AddRow(w.Name, policy,
-				fmt.Sprintf("%+.1f%%", res.SpeedupPctOver(base)),
-				res.BusUtilPct, res.UsefulPct)
-		}
-	}
-	return t, nil
+	return c.TableLong("E12 (ext): PIQ policy on redirect — discard vs keep wrong-path candidates",
+		[]string{"bench", "policy", "speedup", "bus%", "useful%"}, 0,
+		func(res, base core.Result) []any {
+			return []any{speedupCell(res, base), res.BusUtilPct, res.UsefulPct}
+		}), nil
 }
 
 // E13TagPortSweep varies the L1-I tag ports that cache-probe filtering
@@ -55,14 +48,9 @@ func E12WrongPathPIQ(ctx context.Context, r *Runner) (*stats.Table, error) {
 // filter; extra ports buy verification bandwidth.
 func E13TagPortSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	ports := []int{1, 2, 3, 4}
-	cfgs := make([]core.Config, len(ports))
-	for i, p := range ports {
-		cfg := fdpCPF()
-		cfg.L1ITagPorts = p
-		cfgs[i] = cfg
-	}
-	return sweepVsBaseline(ctx, r, "E13 (ext): FDP+CPF(conservative) vs L1-I tag ports, 16KB L1-I",
-		intHeaders(ports), cfgs, func(res, base core.Result) string {
+	return knobSweep(ctx, r, "E13 (ext): FDP+CPF(conservative) vs L1-I tag ports, 16KB L1-I",
+		fdpCPF(), engine.Vary("ports", ports, func(c *core.Config, p int) { c.L1ITagPorts = p }),
+		intHeaders(ports), func(res, base core.Result) any {
 			return fmt.Sprintf("%+.1f%%/%.0f%%", res.SpeedupPctOver(base), res.BusUtilPct)
 		})
 }
@@ -71,16 +59,9 @@ func E13TagPortSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 // rate the prefetcher must stay ahead of. Each width has its own baseline.
 func E14FetchWidthSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 	widths := []int{1, 2, 4, 8}
-	pairs := make([][2]core.Config, len(widths))
-	for i, fw := range widths {
-		base := core.DefaultConfig()
-		base.FetchWidth = fw
-		fdp := fdpCPF()
-		fdp.FetchWidth = fw
-		pairs[i] = [2]core.Config{base, fdp}
-	}
 	return pairedKnobSweep(ctx, r, "E14 (ext): FDP+CPF speedup vs fetch width, 16KB L1-I",
-		intHeaders(widths), pairs)
+		engine.Vary("fw", widths, func(c *core.Config, fw int) { c.FetchWidth = fw }),
+		intHeaders(widths))
 }
 
 // E15StreamGeometry sweeps the stream-buffer baseline's geometry so the
@@ -88,41 +69,44 @@ func E14FetchWidthSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
 func E15StreamGeometry(ctx context.Context, r *Runner) (*stats.Table, error) {
 	shapes := [][2]int{{1, 4}, {2, 4}, {4, 4}, {8, 4}, {4, 2}, {4, 8}}
 	headers := make([]string, len(shapes))
-	cfgs := make([]core.Config, len(shapes))
 	for i, sh := range shapes {
 		headers[i] = fmt.Sprintf("%dx%d", sh[0], sh[1])
-		cfg := core.DefaultConfig()
-		cfg.Prefetch.Kind = core.PrefetchStream
-		cfg.Prefetch.Streams = sh[0]
-		cfg.Prefetch.StreamDepth = sh[1]
-		cfgs[i] = cfg
 	}
-	return sweepVsBaseline(ctx, r, "E15 (ext): stream-buffer geometry (streams x depth), speedup at 16KB L1-I",
-		headers, cfgs, speedupCell)
+	return knobSweep(ctx, r, "E15 (ext): stream-buffer geometry (streams x depth), speedup at 16KB L1-I",
+		core.DefaultConfig(), engine.Vary("geom", shapes, func(c *core.Config, sh [2]int) {
+			c.Prefetch.Kind = core.PrefetchStream
+			c.Prefetch.Streams = sh[0]
+			c.Prefetch.StreamDepth = sh[1]
+		}).Labeled(headers...),
+		headers, speedupCell)
 }
 
 // E16PerfectBound compares FDP+CPF against the perfect-L1-I upper bound: how
 // much of the total front-end opportunity fetch-directed prefetching
 // captures.
 func E16PerfectBound(ctx context.Context, r *Runner) (*stats.Table, error) {
-	t := stats.NewTable("E16 (ext): FDP+CPF vs perfect L1-I upper bound, 16KB L1-I",
-		"bench", "fdp+cpf", "perfect", "captured")
 	perfectCfg := core.DefaultConfig()
 	perfectCfg.PerfectL1I = true
-	cfgs := []core.Config{baselineConfig(16 * 1024), fdpCPF(), perfectCfg}
-	grid, err := r.grid(ctx, r.opts.Workloads, cfgs)
+	c, err := r.Collect(ctx, plan(r.opts.Workloads, core.DefaultConfig()).
+		Axes(engine.Configs(
+			engine.Named("base", baselineConfig(16*1024)),
+			engine.Named("fdp+cpf", fdpCPF()),
+			engine.Named("perfect", perfectCfg),
+		)))
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range r.opts.Workloads {
-		base := grid[i][0]
-		fdp := grid[i][1].SpeedupPctOver(base)
-		perfect := grid[i][2].SpeedupPctOver(base)
+	t := stats.NewTable("E16 (ext): FDP+CPF vs perfect L1-I upper bound, 16KB L1-I",
+		"bench", "fdp+cpf", "perfect", "captured")
+	for i := range r.opts.Workloads {
+		base := c.At(i, 0)
+		fdp := c.At(i, 1).SpeedupPctOver(base)
+		perfect := c.At(i, 2).SpeedupPctOver(base)
 		captured := 0.0
 		if perfect > 0.05 {
 			captured = 100 * fdp / perfect
 		}
-		t.AddRow(w.Name,
+		t.AddRow(c.RowLabel(i),
 			fmt.Sprintf("%+.1f%%", fdp),
 			fmt.Sprintf("%+.1f%%", perfect),
 			fmt.Sprintf("%.0f%%", captured))

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fdip/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the pinned experiment tables in testdata")
+
+// goldenOpts is the fixed scale the pinned tables were produced at: one
+// large-footprint and one client workload at a short budget, so the full
+// 16-experiment suite stays test-fast while every table shape (per-workload
+// rows, large-only sweeps, paired baselines, gmean footers) is exercised.
+func goldenOpts() Options {
+	gcc, _ := workloads.ByName("gcc")
+	db, _ := workloads.ByName("deltablue")
+	return Options{Instrs: 30_000, Workloads: []workloads.Workload{gcc, db}, Workers: 4}
+}
+
+const goldenTablesPath = "testdata/tables_golden.txt"
+
+// renderSuite renders every experiment table (E1..E16) into one string.
+func renderSuite(t *testing.T) string {
+	t.Helper()
+	r := NewRunner(goldenOpts())
+	tables, err := RunExperiments(context.Background(), r, ExtendedSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tab := range tables {
+		sb.WriteString(tab.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestExperimentTablesGolden is the differential gate for experiment
+// refactors: the rendered E1..E16 tables must stay byte-identical to the
+// output pinned when the suite ran on the hand-rolled grid helpers
+// (pre-Plan/reducer). Any drift means the Plan + reducer rebuild changed the
+// science or the formatting; regenerate with -update only for an intentional,
+// called-out table change.
+func TestExperimentTablesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole suite")
+	}
+	got := renderSuite(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenTablesPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTablesPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenTablesPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenTablesPath)
+	if err != nil {
+		t.Fatalf("missing pinned tables (run with -update to record): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("experiment tables drifted from the pinned grid-helper output.\nFirst divergence around byte %d.\n--- got ---\n%s\n--- want ---\n%s",
+			firstDiff(got, string(want)), clip(got), clip(string(want)))
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func clip(s string) string {
+	if len(s) > 4000 {
+		return s[:4000] + "\n... (clipped)"
+	}
+	return s
+}

@@ -8,7 +8,7 @@
 // the substitution: a generator whose knobs control exactly the properties
 // instruction prefetching is sensitive to — code footprint, basic-block size
 // distribution, branch mix and bias, loop trip counts, and call-graph
-// temporal locality. See DESIGN.md §2.
+// temporal locality. See ARCHITECTURE.md for how the layers fit together.
 package program
 
 import (

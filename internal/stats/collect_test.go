@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func filledCollector(t *testing.T) *Collector[float64] {
+	t.Helper()
+	c := NewCollector[float64]([]string{"gcc", "perl"}, []string{"base", "a", "b"})
+	vals := [][]float64{{1, 2, 3}, {2, 3, 8}}
+	// Fill out of order — streams deliver completion order.
+	for r := 1; r >= 0; r-- {
+		for col := range vals[r] {
+			c.Put(r, col, vals[r][col])
+		}
+	}
+	if err := c.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCollectorCompleteness(t *testing.T) {
+	c := NewCollector[int]([]string{"r0", "r1"}, []string{"c0", "c1"})
+	if err := c.Complete(); err == nil || !strings.Contains(err.Error(), "4 of 4") {
+		t.Errorf("empty collector Complete = %v", err)
+	}
+	c.Put(0, 0, 7)
+	c.Put(0, 0, 9) // refill overwrites, not double-counts
+	if err := c.Complete(); err == nil || !strings.Contains(err.Error(), "3 of 4") {
+		t.Errorf("partial collector Complete = %v", err)
+	}
+	if c.At(0, 0) != 9 {
+		t.Errorf("At(0,0) = %d", c.At(0, 0))
+	}
+	c.Put(0, 1, 1)
+	c.Put(1, 0, 2)
+	c.Put(1, 1, 3)
+	if err := c.Complete(); err != nil {
+		t.Errorf("full collector Complete = %v", err)
+	}
+}
+
+func TestCollectorTableShapes(t *testing.T) {
+	c := filledCollector(t)
+
+	plain := c.Table("t", "bench", []string{"base", "a", "b"},
+		func(_, _ int, v float64) any { return v })
+	if got := plain.String(); !strings.Contains(got, "gcc") || !strings.Contains(got, "8.00") {
+		t.Errorf("Table:\n%s", got)
+	}
+
+	vs := c.TableVsBaseline("t", "bench", []string{"a", "b"}, 0,
+		func(v, base float64) any { return v / base })
+	s := vs.String()
+	if !strings.Contains(s, "4.00") { // perl: 8/2
+		t.Errorf("TableVsBaseline missing ratio:\n%s", s)
+	}
+	if strings.Contains(s, "1.00") { // baseline column must be excluded
+		t.Errorf("TableVsBaseline leaked the baseline column:\n%s", s)
+	}
+
+	long := c.TableLong("t", []string{"bench", "cfg", "ratio"}, 0,
+		func(v, base float64) []any { return []any{v / base} })
+	if long.NumRows() != 4 { // 2 rows x 2 non-baseline cols
+		t.Errorf("TableLong rows = %d", long.NumRows())
+	}
+
+	// Paired: (base, a) and then (b, ...) needs an even column count; build
+	// a 4-col collector.
+	p := NewCollector[float64]([]string{"w"}, []string{"b0", "v0", "b1", "v1"})
+	for i, v := range []float64{1, 3, 2, 8} {
+		p.Put(0, i, v)
+	}
+	paired := p.TablePaired("t", "bench", []string{"k0", "k1"},
+		func(v, base float64) any { return v / base })
+	ps := paired.String()
+	if !strings.Contains(ps, "3.00") || !strings.Contains(ps, "4.00") {
+		t.Errorf("TablePaired:\n%s", ps)
+	}
+}
+
+func TestCollectorReduceCols(t *testing.T) {
+	c := filledCollector(t)
+	sums := c.ReduceCols(0, func(v, base float64) float64 { return v - base },
+		func(vals []float64) float64 {
+			s := 0.0
+			for _, v := range vals {
+				s += v
+			}
+			return s
+		})
+	if len(sums) != 2 || sums[0] != 2 || sums[1] != 8 {
+		t.Errorf("ReduceCols = %v, want [2 8]", sums)
+	}
+}
+
+func TestCollectorPutPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Put did not panic")
+		}
+	}()
+	NewCollector[int]([]string{"r"}, []string{"c"}).Put(0, 1, 1)
+}

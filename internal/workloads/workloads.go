@@ -7,8 +7,8 @@
 // program class: instruction footprint relative to a 16KB L1-I, basic-block
 // size, branch mix, loop structure, and dispatch style. The parameters were
 // calibrated by measuring baseline (no-prefetch) L1-I miss rates and branch
-// MPKI on the default machine; EXPERIMENTS.md records the measured
-// characterisation (experiment E1).
+// MPKI on the default machine; experiment E1 (internal/experiments) records
+// the measured characterisation.
 package workloads
 
 import "fdip/internal/program"
