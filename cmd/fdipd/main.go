@@ -1,0 +1,187 @@
+// fdipd is the distributed-sweep daemon. It has three modes:
+//
+//	fdipd [-workers N]                 stdio worker (default): reads assign
+//	                                   frames on stdin, streams outcome frames
+//	                                   on stdout. This is what a coordinator's
+//	                                   Exec dialer spawns.
+//	fdipd -listen :8080 [-workers N]   HTTP worker: serves the same protocol
+//	                                   at POST /v1/run for remote coordinators.
+//	fdipd -coordinate [flags]          coordinator: shards the built-in demo
+//	                                   plan across workers and prints one
+//	                                   NDJSON row per point (sorted by index,
+//	                                   deterministic fields only) on stdout,
+//	                                   with a mergeable-reducer summary on
+//	                                   stderr.
+//
+// Coordinator flags: -shards N (0 = run single-process in this binary — the
+// reference the sharded output must diff clean against), -chunk (points per
+// assignment), -connect url[,url...] (use running HTTP workers instead of
+// spawning local processes), -worker-bin (worker binary to spawn; default:
+// this binary), -journal path (checkpoint/resume), -instrs (per-point
+// budget, baked into the demo plan's configs), -topk (extremes retained in
+// the summary).
+//
+// Quickstart (2-way local shard with checkpointing, then diff against
+// single-process):
+//
+//	fdipd -coordinate -shards 2 -journal /tmp/sweep.journal > sharded.ndjson
+//	fdipd -coordinate -shards 0 > single.ndjson
+//	diff sharded.ndjson single.ndjson        # must be empty: bit-identical
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"iter"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"fdip/internal/core"
+	"fdip/internal/dist"
+	"fdip/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fdipd: ")
+	var (
+		workers    = flag.Int("workers", 0, "concurrent simulations per worker engine (0 = GOMAXPROCS)")
+		listen     = flag.String("listen", "", "serve the HTTP worker protocol on this address instead of stdio")
+		coordinate = flag.Bool("coordinate", false, "run as coordinator over the built-in demo plan")
+		shards     = flag.Int("shards", 2, "coordinator: concurrent worker sessions (0 = single-process reference, no workers)")
+		chunk      = flag.Int("chunk", 2, "coordinator: plan points per assignment")
+		connect    = flag.String("connect", "", "coordinator: comma-separated HTTP worker URLs (default: spawn local worker processes)")
+		workerBin  = flag.String("worker-bin", "", "coordinator: worker binary to spawn (default: this binary)")
+		journal    = flag.String("journal", "", "coordinator: checkpoint journal path (resume by re-running with the same flags)")
+		instrs     = flag.Uint64("instrs", 50_000, "committed-instruction budget per demo-plan point")
+		topk       = flag.Int("topk", 3, "coordinator: extremes retained per side in the IPC summary")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch {
+	case *coordinate:
+		if err := runCoordinator(ctx, *shards, *chunk, *connect, *workerBin, *journal, *instrs, *workers, *topk); err != nil {
+			log.Fatal(err)
+		}
+	case *listen != "":
+		wk := dist.NewWorker(*workers)
+		mux := http.NewServeMux()
+		mux.Handle("/v1/run", wk.Handler())
+		srv := &http.Server{Addr: *listen, Handler: mux}
+		go func() {
+			<-ctx.Done()
+			srv.Close()
+		}()
+		log.Printf("worker listening on %s", *listen)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	default:
+		wk := dist.NewWorker(*workers)
+		if err := wk.ServeStdio(ctx, os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// demoPlan is the built-in smoke sweep: two workloads by three prefetch
+// schemes. The budget is baked into every config (rather than applied by the
+// coordinator) so the -shards 0 reference and any sharded run execute
+// literally identical jobs.
+func demoPlan(instrs uint64) *engine.Plan {
+	mk := func(kind core.PrefetcherKind) core.Config {
+		c := core.DefaultConfig()
+		c.MaxInstrs = instrs
+		c.Prefetch.Kind = kind
+		return c
+	}
+	return engine.NewPlan(mk(core.PrefetchNone)).
+		OverNames("gcc", "deltablue").
+		Axes(engine.Configs(
+			engine.Named("base", mk(core.PrefetchNone)),
+			engine.Named("nextline", mk(core.PrefetchNextLine)),
+			engine.Named("fdp", mk(core.PrefetchFDP)),
+		))
+}
+
+// row is one output line: only fields that are deterministic functions of
+// the plan point (no wall times, no cache flags), so two runs of the same
+// plan — sharded or not, resumed or not — diff byte-identically.
+type row struct {
+	Index  int         `json:"index"`
+	Name   string      `json:"name"`
+	Result core.Result `json:"result"`
+	Error  string      `json:"error,omitempty"`
+}
+
+func runCoordinator(ctx context.Context, shards, chunk int, connect, workerBin, journal string, instrs uint64, workers, topk int) error {
+	p := demoPlan(instrs)
+
+	var stream iter.Seq2[engine.RunOutcome, error]
+	if shards == 0 {
+		// Single-process reference: the same plan through the in-process
+		// engine, no wire, no workers.
+		stream = engine.New(engine.WithWorkers(workers)).Stream(ctx, p)
+	} else {
+		var dialer dist.Dialer
+		if connect != "" {
+			var ds []dist.Dialer
+			for _, u := range strings.Split(connect, ",") {
+				ds = append(ds, dist.HTTP{URL: strings.TrimSpace(u)})
+			}
+			dialer = dist.RoundRobin(ds...)
+		} else {
+			bin := workerBin
+			if bin == "" {
+				self, err := os.Executable()
+				if err != nil {
+					return fmt.Errorf("resolve own binary for -worker-bin: %w", err)
+				}
+				bin = self
+			}
+			dialer = dist.Exec{Path: bin, Args: []string{"-workers", strconv.Itoa(workers)}}
+		}
+		coord := dist.New(dist.Options{
+			Dialer:      dialer,
+			Shards:      shards,
+			ChunkPoints: chunk,
+			Journal:     journal,
+		})
+		stream = coord.Stream(ctx, p)
+	}
+
+	summary := dist.NewSummary("IPC", topk, dist.IPC)
+	rows := make([]row, 0, p.Points())
+	for out, err := range stream {
+		if err != nil {
+			return err
+		}
+		summary.Observe(out)
+		r := row{Index: out.Index, Name: out.Job.Name, Result: out.Result}
+		if out.Err != nil {
+			r.Error = out.Err.Error()
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, summary.String())
+	return nil
+}

@@ -48,6 +48,24 @@
 //	outs, _ := eng.Sweep(ctx, jobs)
 //	fdip.WriteOutcomesJSON(os.Stdout, outs) // machine-readable export
 //
+// Sweeps also run distributed: a DistCoordinator shards a Plan's enumeration
+// across worker processes (spawned binaries or remote HTTP workers, see
+// cmd/fdipd) over an NDJSON wire protocol, with checkpoint/resume journalling
+// and retry-with-reassignment for dead workers, and merges the shard streams
+// back into the exact single-process stream contract — outcomes are
+// bit-identical whatever the shard count or failure history:
+//
+//	coord := fdip.NewDistCoordinator(fdip.DistOptions{
+//		Dialer:  fdip.DistExec{Path: "/usr/local/bin/fdipd"},
+//		Shards:  8,
+//		Journal: "sweep.journal", // kill it, rerun it, nothing re-executes
+//	})
+//	for out, err := range coord.Stream(ctx, plan) { ... }
+//
+// For spaces too large to collect at all, mergeable reducers (DistSummary:
+// online moments plus fixed-memory top-k/bottom-k) fold each shard locally
+// and merge to exactly the single-pass summary.
+//
 // Progress streams as typed events (WithProgress), runs honour context
 // cancellation and deadlines, and failures return as errors. See
 // ARCHITECTURE.md for the architecture and the reproduced evaluation.
@@ -58,10 +76,12 @@ import (
 	"io"
 
 	"fdip/internal/core"
+	"fdip/internal/dist"
 	"fdip/internal/engine"
 	"fdip/internal/oracle"
 	"fdip/internal/prefetch"
 	"fdip/internal/program"
+	"fdip/internal/stats"
 	"fdip/internal/trace"
 	"fdip/internal/workloads"
 )
@@ -183,6 +203,63 @@ func WriteResultJSON(w io.Writer, res Result) error { return engine.WriteResultJ
 func WriteOutcomesJSON(w io.Writer, outs []RunOutcome) error {
 	return engine.WriteOutcomesJSON(w, outs)
 }
+
+// Distributed-sweep API (the dist subsystem; cmd/fdipd is its daemon).
+type (
+	// DistCoordinator shards Plans across worker sessions and merges the
+	// shard streams back into the engine.Stream contract.
+	DistCoordinator = dist.Coordinator
+	// DistOptions configures a coordinator (dialer, shard count, chunking,
+	// journal path, retry budget).
+	DistOptions = dist.Options
+	// DistDialer mints worker sessions; DistSession is one live worker.
+	DistDialer  = dist.Dialer
+	DistSession = dist.Session
+	// DistAssignment is one contiguous index range of a plan, shipped as
+	// resolved jobs.
+	DistAssignment = dist.Assignment
+	// DistWorker is the execution side of a shard (what fdipd wraps).
+	DistWorker = dist.Worker
+	// DistLoopback dials in-process workers (tests, single-machine use);
+	// DistExec spawns stdio worker processes; DistHTTP talks to a running
+	// fdipd -listen worker.
+	DistLoopback = dist.Loopback
+	DistExec     = dist.Exec
+	DistHTTP     = dist.HTTP
+	// DistMetric projects an outcome to the scalar a DistSummary reduces.
+	DistMetric = dist.Metric
+	// DistSummary is the mergeable sweep reduction: online moments plus
+	// fixed-memory top-k/bottom-k extremes, shard-mergeable with results
+	// identical to a single sequential pass.
+	DistSummary = dist.Summary
+	// Moments is the mergeable online mean/variance accumulator.
+	Moments = stats.Moments
+	// JobTopK retains the k best (or worst) scored jobs of a stream in
+	// O(k) memory, mergeable across shards; ScoredJob is one entry.
+	JobTopK   = stats.TopK[engine.Job]
+	ScoredJob = stats.ScoredItem[engine.Job]
+)
+
+// NewDistCoordinator builds a sharding coordinator; zero options default
+// (1 shard, 32-point chunks, 2 retries, no journal).
+func NewDistCoordinator(opts DistOptions) *DistCoordinator { return dist.New(opts) }
+
+// NewDistWorker builds a worker whose engines run at most workers concurrent
+// simulations (0 = GOMAXPROCS).
+func NewDistWorker(workers int) *DistWorker { return dist.NewWorker(workers) }
+
+// DistRoundRobin fans session dials across several dialers in rotation (one
+// HTTP dialer per worker host).
+func DistRoundRobin(dialers ...DistDialer) DistDialer { return dist.RoundRobin(dialers...) }
+
+// NewDistSummary builds a mergeable summary over metric, retaining k
+// extremes each way; DistIPC is the canonical metric.
+func NewDistSummary(name string, k int, metric DistMetric) *DistSummary {
+	return dist.NewSummary(name, k, metric)
+}
+
+// DistIPC reduces an outcome to its instructions-per-cycle.
+func DistIPC(out RunOutcome) float64 { return dist.IPC(out) }
 
 // Prefetch scheme names.
 const (
@@ -313,4 +390,4 @@ func ReplayTrace(r io.Reader, cfg Config) (Result, error) {
 }
 
 // Version identifies the library release.
-const Version = "3.0.0"
+const Version = "3.1.0"

@@ -1,0 +1,354 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"fdip/internal/core"
+	"fdip/internal/engine"
+	"fdip/internal/prefetch"
+	"fdip/internal/stats"
+)
+
+// goldenChecksum mirrors internal/engine's pinned constant: the FNV-64a
+// digest of the golden point's Result. The distributed merge must reproduce
+// it bit-identically at every shard count — the package's non-negotiable
+// proof obligation.
+const goldenChecksum = 0x47bbeda2da5f243e
+
+func goldenCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxInstrs = 150_000
+	cfg.Prefetch.Kind = core.PrefetchFDP
+	cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+	return cfg
+}
+
+// testPlan is 2 workloads x 3 configs = 6 points with per-config budgets
+// baked in. Index 1 (gcc x golden) is exactly the engine's pinned golden
+// triple.
+func testPlan() *engine.Plan {
+	mk := func(kind core.PrefetcherKind) core.Config {
+		c := core.DefaultConfig()
+		c.MaxInstrs = 30_000
+		c.Prefetch.Kind = kind
+		return c
+	}
+	return engine.NewPlan(core.DefaultConfig()).
+		OverNames("gcc", "deltablue").
+		Axes(engine.Configs(
+			engine.Named("base", mk(core.PrefetchNone)),
+			engine.Named("golden", goldenCfg()),
+			engine.Named("nextline", mk(core.PrefetchNextLine)),
+		))
+}
+
+func resultChecksum(res core.Result) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", res)
+	return h.Sum64()
+}
+
+// reference runs the plan through the in-process engine — the single-process
+// truth every sharded run must reproduce.
+func reference(t *testing.T, p *engine.Plan) []engine.RunOutcome {
+	t.Helper()
+	outs := make([]engine.RunOutcome, p.Points())
+	for out, err := range engine.New(engine.WithWorkers(4)).Stream(context.Background(), p) {
+		if err != nil || out.Err != nil {
+			t.Fatalf("reference stream: %v / %v", err, out.Err)
+		}
+		outs[out.Index] = out
+	}
+	return outs
+}
+
+// requireIdentical asserts the sharded outcomes reproduce the reference
+// bit-identically (names, results, and the pinned golden point).
+func requireIdentical(t *testing.T, label string, ref, got []engine.RunOutcome) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%s: %d outcomes, want %d", label, len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i].Err != nil {
+			t.Fatalf("%s: point %d (%s): %v", label, i, got[i].Job.Name, got[i].Err)
+		}
+		if got[i].Job.Name != ref[i].Job.Name {
+			t.Errorf("%s: point %d named %q, want %q", label, i, got[i].Job.Name, ref[i].Job.Name)
+		}
+		if a, b := resultChecksum(got[i].Result), resultChecksum(ref[i].Result); a != b {
+			t.Errorf("%s: point %d (%s): checksum %#x != single-process %#x", label, i, got[i].Job.Name, a, b)
+		}
+	}
+	if got := resultChecksum(got[1].Result); got != goldenChecksum {
+		t.Errorf("%s: golden point checksum %#x, want pinned %#x", label, got, goldenChecksum)
+	}
+}
+
+// TestShardedMergeMatchesSingleProcess is the tentpole proof: the plan
+// sharded N ways over wire-round-tripped loopback workers reassembles
+// bit-identically to the single-process stream, N in {1, 2, 8}, including
+// the engine's pinned golden checksum.
+func TestShardedMergeMatchesSingleProcess(t *testing.T) {
+	p := testPlan()
+	ref := reference(t, p)
+	for _, shards := range []int{1, 2, 8} {
+		c := New(Options{
+			Dialer:      Loopback{Workers: 2, Wire: true},
+			Shards:      shards,
+			ChunkPoints: 2,
+		})
+		outs, err := c.Sweep(context.Background(), p)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		requireIdentical(t, fmt.Sprintf("shards=%d", shards), ref, outs)
+	}
+}
+
+var errKilled = errors.New("worker killed (injected)")
+
+// chaosDialer wraps an inner dialer for fault-injection and bookkeeping: it
+// counts dials, records every executed range start in order, and kills the
+// first `kills` attempts of each range mid-stream (one outcome delivered,
+// then a crash-like error — the partial-range case retry must handle without
+// duplicating deliveries).
+type chaosDialer struct {
+	inner Dialer
+	kills int
+
+	mu       sync.Mutex
+	dials    int
+	executed []int
+	attempts map[int]int
+}
+
+func newChaosDialer(inner Dialer, kills int) *chaosDialer {
+	return &chaosDialer{inner: inner, kills: kills, attempts: make(map[int]int)}
+}
+
+func (d *chaosDialer) Dial(ctx context.Context) (Session, error) {
+	d.mu.Lock()
+	d.dials++
+	d.mu.Unlock()
+	s, err := d.inner.Dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosSession{d: d, s: s}, nil
+}
+
+func (d *chaosDialer) executedStarts() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]int(nil), d.executed...)
+}
+
+type chaosSession struct {
+	d *chaosDialer
+	s Session
+}
+
+func (cs *chaosSession) Run(ctx context.Context, a Assignment, emit func(engine.RunOutcome) error) error {
+	cs.d.mu.Lock()
+	cs.d.executed = append(cs.d.executed, a.Start)
+	cs.d.attempts[a.Start]++
+	kill := cs.d.attempts[a.Start] <= cs.d.kills
+	cs.d.mu.Unlock()
+	if !kill {
+		return cs.s.Run(ctx, a, emit)
+	}
+	// Die mid-range: one outcome escapes, then the "process" crashes. (If
+	// the range has a single point, the crash lands between the last
+	// outcome and the done terminator — equally fatal on a real wire.)
+	n := 0
+	cs.s.Run(ctx, a, func(out engine.RunOutcome) error {
+		if n == 0 {
+			n++
+			return emit(out)
+		}
+		return errKilled
+	})
+	return errKilled
+}
+
+func (cs *chaosSession) Close() error { return cs.s.Close() }
+
+// TestShardedMergeSurvivesWorkerKills kills every range's first worker
+// mid-stream; the coordinator must redial, reassign, and still reassemble
+// the single-process stream bit-identically — no lost points, no duplicated
+// deliveries from the partially-streamed first attempts.
+func TestShardedMergeSurvivesWorkerKills(t *testing.T) {
+	p := testPlan()
+	ref := reference(t, p)
+	chaos := newChaosDialer(Loopback{Workers: 2, Wire: true}, 1)
+	c := New(Options{Dialer: chaos, Shards: 2, ChunkPoints: 2})
+	outs, err := c.Sweep(context.Background(), p)
+	if err != nil {
+		t.Fatalf("sweep under kills: %v", err)
+	}
+	requireIdentical(t, "kills=1", ref, outs)
+	ranges := (p.Points() + 1) / 2
+	if got := len(chaos.executedStarts()); got < 2*ranges {
+		t.Errorf("%d range executions for %d ranges; kill injection never forced retries", got, ranges)
+	}
+	chaos.mu.Lock()
+	dials := chaos.dials
+	chaos.mu.Unlock()
+	if dials <= 2 {
+		t.Errorf("%d dials for 2 shards under kills; dead workers were not replaced by fresh sessions", dials)
+	}
+}
+
+// TestKillAndResumeReproducesGolden is the coordinator-restart proof: run 1
+// is killed (consumer abandons the stream) partway through a journaled sweep
+// whose workers are ALSO being killed; run 2 — a fresh coordinator on the
+// same journal — must replay the completed ranges from disk, execute only
+// the rest, and hand a collector the complete, bit-identical point set
+// including the pinned golden checksum.
+func TestKillAndResumeReproducesGolden(t *testing.T) {
+	p := testPlan()
+	ref := reference(t, p)
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	opts := func(d Dialer) Options {
+		return Options{Dialer: d, Shards: 1, ChunkPoints: 2, Journal: journal}
+	}
+
+	// Run 1: worker kills on every range's first attempt, coordinator
+	// "crashes" (breaks) after consuming 4 outcomes = 2 committed ranges.
+	run1 := newChaosDialer(Loopback{Workers: 2, Wire: true}, 1)
+	consumed := 0
+	for out, err := range New(opts(run1)).Stream(context.Background(), p) {
+		if err != nil || out.Err != nil {
+			t.Fatalf("run 1: %v / %v", err, out.Err)
+		}
+		consumed++
+		if consumed == 4 {
+			break
+		}
+	}
+
+	// Run 2: a fresh coordinator over the same journal completes the sweep.
+	run2 := newChaosDialer(Loopback{Workers: 2, Wire: true}, 0)
+	outs := make([]engine.RunOutcome, p.Points())
+	seen := make([]bool, p.Points())
+	for out, err := range New(opts(run2)).Stream(context.Background(), p) {
+		if err != nil || out.Err != nil {
+			t.Fatalf("run 2: %v / %v", err, out.Err)
+		}
+		if seen[out.Index] {
+			t.Fatalf("run 2: point %d delivered twice (journal replay + re-execution)", out.Index)
+		}
+		seen[out.Index] = true
+		outs[out.Index] = out
+	}
+	requireIdentical(t, "resumed", ref, outs)
+
+	// With Shards=1 and the break on a range boundary, exactly ranges 0 and
+	// 2 were committed before the crash; resume must execute only range 4.
+	if got := run2.executedStarts(); len(got) != 1 || got[0] != 4 {
+		t.Errorf("resume executed ranges %v; want exactly [4] (journaled ranges 0 and 2 must replay, not re-run)", got)
+	}
+}
+
+// TestRangeOutOfRetriesIsTerminal pins the failure mode: a dialer that never
+// produces a working session must end the stream with one terminal error
+// (not a hang, not silence).
+func TestRangeOutOfRetriesIsTerminal(t *testing.T) {
+	c := New(Options{Dialer: deadDialer{}, Shards: 2, ChunkPoints: 2, MaxRetries: 1})
+	var terminal error
+	n := 0
+	for _, err := range c.Stream(context.Background(), testPlan()) {
+		if err != nil {
+			terminal = err
+		} else {
+			n++
+		}
+	}
+	if terminal == nil {
+		t.Fatal("stream over a dead dialer ended without a terminal error")
+	}
+	if !errors.Is(terminal, errDead) && !strings.Contains(terminal.Error(), "attempts") {
+		t.Errorf("terminal error %v does not report the exhausted retries", terminal)
+	}
+	if n != 0 {
+		t.Errorf("%d outcomes delivered by a dialer that can never run one", n)
+	}
+}
+
+var errDead = errors.New("no worker available (injected)")
+
+type deadDialer struct{}
+
+func (deadDialer) Dial(ctx context.Context) (Session, error) { return nil, errDead }
+
+// TestStreamEarlyBreakUnwinds: abandoning the merged stream must cancel
+// outstanding assignments and return promptly, like engine.Stream.
+func TestStreamEarlyBreakUnwinds(t *testing.T) {
+	c := New(Options{Dialer: Loopback{Workers: 2}, Shards: 2, ChunkPoints: 1})
+	got := 0
+	for out, err := range c.Stream(context.Background(), testPlan()) {
+		if err != nil || out.Err != nil {
+			t.Fatalf("first delivery: %v / %v", err, out.Err)
+		}
+		got++
+		break
+	}
+	if got != 1 {
+		t.Fatalf("delivered %d before break", got)
+	}
+}
+
+// TestSummaryShardMergeMatchesSequential pins the mergeable-reducer
+// contract on real outcomes: per-shard summaries merged in any order agree
+// with one sequential fold — exactly for the discrete parts (count,
+// failures, top-k/bottom-k retained sets) and to float tolerance for the
+// moments.
+func TestSummaryShardMergeMatchesSequential(t *testing.T) {
+	ref := reference(t, testPlan())
+	seq := NewSummary("IPC", 3, IPC)
+	for _, out := range ref {
+		seq.Observe(out)
+	}
+	for _, shards := range []int{2, 3} {
+		parts := make([]*Summary, shards)
+		for i := range parts {
+			parts[i] = NewSummary("IPC", 3, IPC)
+		}
+		for i, out := range ref {
+			parts[i%shards].Observe(out)
+		}
+		merged := NewSummary("IPC", 3, IPC)
+		for i := shards - 1; i >= 0; i-- {
+			merged.Merge(parts[i])
+		}
+		if merged.Moments.Count != seq.Moments.Count || merged.Failures != seq.Failures {
+			t.Fatalf("shards=%d: count/failures %d/%d, want %d/%d",
+				shards, merged.Moments.Count, merged.Failures, seq.Moments.Count, seq.Failures)
+		}
+		if d := merged.Moments.Mean - seq.Moments.Mean; d > 1e-12 || d < -1e-12 {
+			t.Errorf("shards=%d: merged mean drifts by %g", shards, d)
+		}
+		for name, pair := range map[string][2][]stats.ScoredItem[engine.Job]{
+			"top":    {merged.Top.Items(), seq.Top.Items()},
+			"bottom": {merged.Bottom.Items(), seq.Bottom.Items()},
+		} {
+			got, want := pair[0], pair[1]
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d %s: %d items, want %d", shards, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Seq != want[i].Seq || got[i].Score != want[i].Score || got[i].Value.Name != want[i].Value.Name {
+					t.Errorf("shards=%d %s[%d]: %v != sequential %v", shards, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

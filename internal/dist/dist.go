@@ -1,0 +1,135 @@
+// Package dist shards Plans across worker processes: a coordinator splits a
+// plan's enumeration order into contiguous index ranges, hands each range to
+// a worker session over a newline-delimited JSON wire protocol, and merges
+// the completion-order shard streams back into the single-process stream
+// contract (index-tagged RunOutcomes feeding stats.Collector). A checkpoint
+// journal makes sweeps resumable: completed ranges are persisted as they
+// finish and replayed instead of re-executed after a coordinator restart,
+// and a dead worker's range is re-dialed and re-run on a fresh session.
+//
+// The invariant the whole package is built around is bit-identity: every job
+// is deterministic in its (params, config, seed) key, enumeration order is
+// fixed by the Plan, and outcomes carry their enumeration index, so an N-way
+// sharded sweep — including one interrupted by worker kills and coordinator
+// restarts — reassembles into exactly the outcomes a single process would
+// have produced. Reducers that summarise instead of collecting (stats.Moments,
+// stats.TopK via Summary) merge shard-locally with the same guarantee.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"fdip/internal/engine"
+)
+
+// Assignment is one unit of distributed work: a contiguous range of a plan's
+// enumeration order, shipped as resolved jobs (a Plan itself — closures over
+// axes — cannot cross a process boundary). Jobs[i] is enumeration index
+// Start+i; workers re-tag outcome indices into the global space.
+type Assignment struct {
+	// Start is the enumeration index of Jobs[0].
+	Start int `json:"start"`
+	// Jobs are the range's resolved simulation points, in enumeration order.
+	Jobs []engine.Job `json:"jobs"`
+	// Instrs, when non-zero, is the committed-instruction budget the worker
+	// applies to every job (engine.WithInstrBudget); zero leaves each job's
+	// own config untouched.
+	Instrs uint64 `json:"instrs,omitempty"`
+}
+
+// End returns the exclusive end index of the range.
+func (a Assignment) End() int { return a.Start + len(a.Jobs) }
+
+// Session is one live worker connection. Run executes one assignment,
+// calling emit for every outcome of the range (in the worker's completion
+// order, indices re-tagged into the plan's global enumeration space), and
+// returns nil only when the whole range succeeded at the protocol level
+// (per-job simulation failures travel inside outcomes as Err, exactly like
+// engine.Stream). A non-nil error marks the session dead: the coordinator
+// closes it and retries the range on a freshly dialed one.
+type Session interface {
+	Run(ctx context.Context, a Assignment, emit func(engine.RunOutcome) error) error
+	Close() error
+}
+
+// Dialer mints worker sessions. The coordinator dials lazily — one session
+// per shard slot, redialed after failures — so a Dialer is also the retry
+// policy's supply of replacement workers.
+type Dialer interface {
+	Dial(ctx context.Context) (Session, error)
+}
+
+// Loopback is the in-process Dialer: every Dial builds a fresh Worker with
+// its own engine, memo cache, and machine pools, so shards are genuinely
+// isolated (no cross-shard memoisation) and tests exercise the real merge
+// semantics without spawning processes.
+type Loopback struct {
+	// Workers bounds each dialed worker's simulation concurrency
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Wire round-trips every assignment and outcome through its JSON wire
+	// form, proving in-process runs exercise the same (lossless) encoding
+	// as cross-process ones.
+	Wire bool
+}
+
+// Dial builds a fresh in-process worker session.
+func (l Loopback) Dial(ctx context.Context) (Session, error) {
+	return &loopbackSession{wk: NewWorker(l.Workers), wire: l.Wire}, nil
+}
+
+type loopbackSession struct {
+	wk   *Worker
+	wire bool
+}
+
+func (s *loopbackSession) Run(ctx context.Context, a Assignment, emit func(engine.RunOutcome) error) error {
+	if s.wire {
+		b, err := json.Marshal(a)
+		if err != nil {
+			return err
+		}
+		a = Assignment{}
+		if err := json.Unmarshal(b, &a); err != nil {
+			return err
+		}
+		inner := emit
+		emit = func(out engine.RunOutcome) error {
+			b, err := json.Marshal(out)
+			if err != nil {
+				return err
+			}
+			var back engine.RunOutcome
+			if err := json.Unmarshal(b, &back); err != nil {
+				return err
+			}
+			return inner(back)
+		}
+	}
+	return s.wk.Run(ctx, a, emit)
+}
+
+func (s *loopbackSession) Close() error { return nil }
+
+// RoundRobin fans Dial calls across several dialers in rotation — the
+// multi-machine composition (one HTTP dialer per worker host, one shard slot
+// apiece or more).
+func RoundRobin(dialers ...Dialer) Dialer {
+	return &roundRobin{ds: dialers}
+}
+
+type roundRobin struct {
+	mu sync.Mutex
+	i  int
+	ds []Dialer
+}
+
+func (r *roundRobin) Dial(ctx context.Context) (Session, error) {
+	r.mu.Lock()
+	d := r.ds[r.i%len(r.ds)]
+	r.i++
+	r.mu.Unlock()
+	return d.Dial(ctx)
+}

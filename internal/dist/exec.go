@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"fdip/internal/engine"
+)
+
+// Exec dials worker sessions by spawning a stdio-mode worker process (a
+// cmd/fdipd binary) per session: assignments go down the child's stdin,
+// outcome frames come back up its stdout. Each Dial is a fresh process, which
+// is what makes the coordinator's retry path a genuine reassignment — a
+// wedged or killed worker is discarded wholesale and its range re-runs in a
+// new one.
+type Exec struct {
+	// Path is the worker binary (typically the fdipd binary itself).
+	Path string
+	// Args are extra arguments (e.g. "-workers", "2"). The binary's default
+	// mode must be the stdio worker.
+	Args []string
+	// Stderr receives the child's stderr (nil = this process's stderr).
+	Stderr io.Writer
+}
+
+// Dial spawns one worker process. The process is bound to ctx: cancelling
+// the stream kills every outstanding worker.
+func (e Exec) Dial(ctx context.Context) (Session, error) {
+	cmd := exec.CommandContext(ctx, e.Path, e.Args...)
+	cmd.Stderr = e.Stderr
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: exec %s: %w", e.Path, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: exec %s: %w", e.Path, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: exec %s: %w", e.Path, err)
+	}
+	return &execSession{cmd: cmd, in: stdin, enc: json.NewEncoder(stdin), dec: json.NewDecoder(stdout)}, nil
+}
+
+type execSession struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+func (s *execSession) Run(ctx context.Context, a Assignment, emit func(engine.RunOutcome) error) error {
+	if err := s.enc.Encode(frame{Type: "assign", Assign: &a}); err != nil {
+		return fmt.Errorf("dist: write assignment to worker: %w", err)
+	}
+	return readOutcomes(s.dec, emit)
+}
+
+// Close tears the worker process down. Closing stdin is the clean-shutdown
+// signal (ServeStdio exits on EOF), but Close is mostly called on suspect
+// sessions, so the process is killed outright rather than waited out
+// mid-assignment.
+func (s *execSession) Close() error {
+	s.in.Close()
+	if s.cmd.Process != nil {
+		s.cmd.Process.Kill()
+	}
+	return s.cmd.Wait()
+}

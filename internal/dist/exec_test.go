@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"fdip/internal/core"
+	"fdip/internal/engine"
+)
+
+// fdipdBinary returns a worker binary to spawn: $FDIPD_BIN when set (CI
+// builds it once), else a fresh `go build` into the test's temp dir.
+func fdipdBinary(t *testing.T) string {
+	t.Helper()
+	if bin := os.Getenv("FDIPD_BIN"); bin != "" {
+		return bin
+	}
+	if testing.Short() {
+		t.Skip("builds the fdipd binary (set FDIPD_BIN to reuse one)")
+	}
+	bin := filepath.Join(t.TempDir(), "fdipd")
+	cmd := exec.Command("go", "build", "-o", bin, "fdip/cmd/fdipd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build fdipd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// execPlan is a cheap 6-point plan for subprocess tests (no golden point:
+// process startup, not simulation depth, is what this test exercises).
+func execPlan() *engine.Plan {
+	mk := func(kind core.PrefetcherKind) core.Config {
+		c := core.DefaultConfig()
+		c.MaxInstrs = 15_000
+		c.Prefetch.Kind = kind
+		return c
+	}
+	return engine.NewPlan(core.DefaultConfig()).
+		OverNames("gcc", "deltablue").
+		Axes(engine.Configs(
+			engine.Named("base", mk(core.PrefetchNone)),
+			engine.Named("nextline", mk(core.PrefetchNextLine)),
+			engine.Named("fdp", mk(core.PrefetchFDP)),
+		))
+}
+
+// TestExecShardedMatchesSingleProcess crosses the real process boundary:
+// the plan sharded 2-way over spawned fdipd worker processes (stdio wire)
+// must reproduce the in-process engine bit-identically.
+func TestExecShardedMatchesSingleProcess(t *testing.T) {
+	bin := fdipdBinary(t)
+	p := execPlan()
+	ref := make([]engine.RunOutcome, p.Points())
+	for out, err := range engine.New(engine.WithWorkers(4)).Stream(context.Background(), p) {
+		if err != nil || out.Err != nil {
+			t.Fatalf("reference: %v / %v", err, out.Err)
+		}
+		ref[out.Index] = out
+	}
+
+	c := New(Options{
+		Dialer:      Exec{Path: bin, Args: []string{"-workers", "2"}, Stderr: io.Discard},
+		Shards:      2,
+		ChunkPoints: 2,
+	})
+	outs, err := c.Sweep(context.Background(), p)
+	if err != nil {
+		t.Fatalf("exec sweep: %v", err)
+	}
+	for i := range ref {
+		if outs[i].Err != nil {
+			t.Fatalf("point %d (%s): %v", i, outs[i].Job.Name, outs[i].Err)
+		}
+		if a, b := resultChecksum(outs[i].Result), resultChecksum(ref[i].Result); a != b {
+			t.Errorf("point %d (%s): subprocess checksum %#x != in-process %#x", i, outs[i].Job.Name, a, b)
+		}
+		if outs[i].Job.Name != ref[i].Job.Name {
+			t.Errorf("point %d named %q, want %q", i, outs[i].Job.Name, ref[i].Job.Name)
+		}
+	}
+}
+
+// TestExecWorkerKillMidRangeRecovers kills a live worker process mid-sweep;
+// the coordinator must spawn a replacement and finish bit-identically.
+func TestExecWorkerKillMidRangeRecovers(t *testing.T) {
+	bin := fdipdBinary(t)
+	p := execPlan()
+	ref := make([]engine.RunOutcome, p.Points())
+	for out, err := range engine.New(engine.WithWorkers(4)).Stream(context.Background(), p) {
+		if err != nil || out.Err != nil {
+			t.Fatalf("reference: %v / %v", err, out.Err)
+		}
+		ref[out.Index] = out
+	}
+
+	// killFirst wraps Exec and shoots the first session's process the moment
+	// its first assignment starts.
+	kf := &killFirstDialer{inner: Exec{Path: bin, Args: []string{"-workers", "2"}, Stderr: io.Discard}}
+	c := New(Options{Dialer: kf, Shards: 1, ChunkPoints: 2})
+	outs, err := c.Sweep(context.Background(), p)
+	if err != nil {
+		t.Fatalf("sweep across a killed worker process: %v", err)
+	}
+	if !kf.killed {
+		t.Fatal("kill injection never fired; test covered nothing")
+	}
+	for i := range ref {
+		if outs[i].Err != nil {
+			t.Fatalf("point %d: %v", i, outs[i].Err)
+		}
+		if a, b := resultChecksum(outs[i].Result), resultChecksum(ref[i].Result); a != b {
+			t.Errorf("point %d (%s): checksum %#x != in-process %#x", i, outs[i].Job.Name, a, b)
+		}
+	}
+}
+
+type killFirstDialer struct {
+	inner  Exec
+	dials  int
+	killed bool
+}
+
+func (d *killFirstDialer) Dial(ctx context.Context) (Session, error) {
+	d.dials++
+	s, err := d.inner.Dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if d.dials == 1 {
+		return &killFirstSession{d: d, s: s.(*execSession)}, nil
+	}
+	return s, nil
+}
+
+type killFirstSession struct {
+	d *killFirstDialer
+	s *execSession
+}
+
+func (ks *killFirstSession) Run(ctx context.Context, a Assignment, emit func(engine.RunOutcome) error) error {
+	if !ks.d.killed {
+		ks.d.killed = true
+		// SIGKILL the worker process outright — the hardest death the
+		// retry path has to absorb — then run the protocol into the corpse.
+		ks.s.cmd.Process.Kill()
+	}
+	err := ks.s.Run(ctx, a, emit)
+	if err == nil {
+		return fmt.Errorf("killed worker completed an assignment")
+	}
+	return err
+}
+
+func (ks *killFirstSession) Close() error { return ks.s.Close() }

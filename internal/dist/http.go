@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"fdip/internal/engine"
+)
+
+// HTTP dials sessions against a long-running fdipd HTTP worker (fdipd
+// -listen). Each Run is one POST of an assign frame; the response streams
+// the range's NDJSON outcome frames. Sessions are connection-light (the
+// http.Client pools connections), so a "dead session" here just means the
+// last request failed and the coordinator should retry — against the same
+// worker if it recovered, or a different dialer under RoundRobin.
+type HTTP struct {
+	// URL is the worker's base URL ("http://host:8080"); a URL with no path
+	// (or "/") is normalised to the /v1/run endpoint, an explicit path is
+	// used as-is.
+	URL string
+	// Client overrides the HTTP client (nil = http.DefaultClient). Streams
+	// are long-lived: a client with a response timeout will kill healthy
+	// ranges.
+	Client *http.Client
+}
+
+// Dial validates and normalises the URL; no connection is made until Run.
+func (h HTTP) Dial(ctx context.Context) (Session, error) {
+	u, err := url.Parse(h.URL)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker url %q: %w", h.URL, err)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/v1/run"
+	}
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &httpSession{url: u.String(), client: client}, nil
+}
+
+type httpSession struct {
+	url    string
+	client *http.Client
+}
+
+func (s *httpSession) Run(ctx context.Context, a Assignment, emit func(engine.RunOutcome) error) error {
+	body, err := json.Marshal(frame{Type: "assign", Assign: &a})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: post assignment: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("dist: worker %s: %s: %s", s.url, resp.Status, bytes.TrimSpace(msg))
+	}
+	return readOutcomes(json.NewDecoder(resp.Body), emit)
+}
+
+func (s *httpSession) Close() error { return nil }

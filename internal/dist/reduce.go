@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"fmt"
+
+	"fdip/internal/engine"
+	"fdip/internal/stats"
+)
+
+// Metric projects one successful outcome to the scalar a Summary reduces.
+type Metric func(engine.RunOutcome) float64
+
+// IPC is the canonical metric: the point's instructions per cycle.
+func IPC(out engine.RunOutcome) float64 { return out.Result.IPC }
+
+// MissPKI reduces the would-be L1-I miss rate per kilo-instruction.
+func MissPKI(out engine.RunOutcome) float64 { return out.Result.MissPKI }
+
+// BusUtilPct reduces the L1<->L2 bus utilisation percentage.
+func BusUtilPct(out engine.RunOutcome) float64 { return out.Result.BusUtilPct }
+
+// Summary is the mergeable reduction of a sweep over one metric: online
+// mean/variance (stats.Moments) plus the k best and k worst points
+// (stats.TopK, tie-broken by enumeration index) and a failure count. Each
+// shard can fold its own ranges into a private Summary and Merge them — the
+// result is identical (TopK sets exactly, moments up to float associativity)
+// to observing the whole stream in one process, in any order, which is what
+// lets million-point sweeps report without anyone holding the result set.
+type Summary struct {
+	// MetricName labels the reduced metric in reports.
+	MetricName string
+	// Moments holds the metric's count/mean/variance over successful points.
+	Moments stats.Moments
+	// Top and Bottom retain the k highest- and lowest-metric points.
+	Top, Bottom *stats.TopK[engine.Job]
+	// Failures counts outcomes that carried an error (excluded from the
+	// metric's moments and extremes).
+	Failures int
+
+	metric Metric
+}
+
+// NewSummary builds a summary over metric, retaining k extremes each way.
+func NewSummary(name string, k int, metric Metric) *Summary {
+	return &Summary{
+		MetricName: name,
+		Top:        stats.NewTopK[engine.Job](k),
+		Bottom:     stats.NewBottomK[engine.Job](k),
+		metric:     metric,
+	}
+}
+
+// Observe folds one outcome.
+func (s *Summary) Observe(out engine.RunOutcome) {
+	if out.Err != nil {
+		s.Failures++
+		return
+	}
+	v := s.metric(out)
+	s.Moments.Add(v)
+	s.Top.Add(v, int64(out.Index), out.Job)
+	s.Bottom.Add(v, int64(out.Index), out.Job)
+}
+
+// Merge folds another shard's summary into s.
+func (s *Summary) Merge(o *Summary) {
+	s.Moments.Merge(o.Moments)
+	s.Top.Merge(o.Top)
+	s.Bottom.Merge(o.Bottom)
+	s.Failures += o.Failures
+}
+
+// String renders the summary in report form.
+func (s *Summary) String() string {
+	out := fmt.Sprintf("%s: n=%d mean=%.4f stddev=%.4f failures=%d",
+		s.MetricName, s.Moments.Count, s.Moments.Mean, s.Moments.StdDev(), s.Failures)
+	for _, it := range s.Top.Items() {
+		out += fmt.Sprintf("\n  top    %-40s %.4f", it.Value.Name, it.Score)
+	}
+	for _, it := range s.Bottom.Items() {
+		out += fmt.Sprintf("\n  bottom %-40s %.4f", it.Value.Name, it.Score)
+	}
+	return out
+}

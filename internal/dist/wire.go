@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fdip/internal/engine"
+)
+
+// The wire protocol is newline-delimited JSON frames, identical over stdio
+// (Exec) and HTTP (one POST per assignment, NDJSON response). A conversation
+// is:
+//
+//	coordinator -> worker:  {"type":"assign","assign":{...}}
+//	worker -> coordinator:  {"type":"outcome","outcome":{...}}   (per job, completion order)
+//	                        ... then exactly one of:
+//	                        {"type":"done"}
+//	                        {"type":"error","error":"..."}
+//
+// Outcomes reuse engine.RunOutcome's JSON form (errors flattened to strings),
+// so the distributed wire is the same schema single-process tooling already
+// consumes. Per-job failures are outcome frames with "error" set inside the
+// outcome; a frame of type "error" is assignment-terminal and triggers the
+// coordinator's retry-on-a-fresh-session path.
+type frame struct {
+	Type    string             `json:"type"`
+	Assign  *Assignment        `json:"assign,omitempty"`
+	Outcome *engine.RunOutcome `json:"outcome,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// readOutcomes consumes one assignment's response frames from dec, emitting
+// each outcome, until a done (nil) or error (non-nil) terminator. A stream
+// that ends or corrupts before its terminator is a dead worker.
+func readOutcomes(dec *json.Decoder, emit func(engine.RunOutcome) error) error {
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return fmt.Errorf("dist: worker stream ended before its terminator: %w", err)
+		}
+		switch f.Type {
+		case "outcome":
+			if f.Outcome == nil {
+				return fmt.Errorf("dist: outcome frame without an outcome")
+			}
+			if err := emit(*f.Outcome); err != nil {
+				return err
+			}
+		case "done":
+			return nil
+		case "error":
+			return fmt.Errorf("dist: worker: %s", f.Error)
+		default:
+			return fmt.Errorf("dist: unexpected frame type %q", f.Type)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"fdip/internal/engine"
+)
+
+// Worker is the execution side of a shard: it runs assignments on pooled
+// engines (one per instruction budget, sharing a single image cache) and is
+// what cmd/fdipd wraps in a stdio or HTTP transport. A Worker is stateless
+// across assignments in the contract's sense — all durable progress lives in
+// the coordinator's journal — so killing one mid-range loses nothing but the
+// range's partial work.
+type Worker struct {
+	workers int
+	images  *engine.ImageCache
+
+	mu      sync.Mutex
+	engines map[uint64]*engine.Engine
+}
+
+// NewWorker builds a worker whose engines run at most workers concurrent
+// simulations (0 = GOMAXPROCS).
+func NewWorker(workers int) *Worker {
+	return &Worker{
+		workers: workers,
+		images:  engine.NewImageCache(),
+		engines: make(map[uint64]*engine.Engine),
+	}
+}
+
+// engineFor returns the engine for an instruction budget, building it on
+// first use. Budgets get separate engines because the budget participates in
+// the memo key's config; the image cache is shared across all of them.
+func (w *Worker) engineFor(instrs uint64) *engine.Engine {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.engines[instrs]
+	if !ok {
+		e = engine.New(
+			engine.WithWorkers(w.workers),
+			engine.WithInstrBudget(instrs),
+			engine.WithImageCache(w.images),
+		)
+		w.engines[instrs] = e
+	}
+	return e
+}
+
+// Run executes one assignment, emitting each outcome (completion order,
+// indices re-tagged from range-local to the plan's global enumeration space).
+// Per-job failures are outcomes with Err set; the returned error is
+// assignment-terminal (a stream-level engine failure or an emit failure).
+func (w *Worker) Run(ctx context.Context, a Assignment, emit func(engine.RunOutcome) error) error {
+	eng := w.engineFor(a.Instrs)
+	for out, err := range eng.StreamJobs(ctx, a.Jobs) {
+		if err != nil {
+			return err
+		}
+		out.Index += a.Start
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// ServeStdio runs the stdio transport: assign frames in on r, outcome frames
+// out on wr, one conversation per assignment, until EOF (a clean shutdown —
+// the coordinator closed our stdin) or a transport error. This is cmd/fdipd's
+// default mode, designed to sit on the other end of an Exec dialer.
+func (w *Worker) ServeStdio(ctx context.Context, r io.Reader, wr io.Writer) error {
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(wr)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("dist: worker: read assignment: %w", err)
+		}
+		if f.Type != "assign" || f.Assign == nil {
+			return fmt.Errorf("dist: worker: expected an assign frame, got %q", f.Type)
+		}
+		runErr := w.Run(ctx, *f.Assign, func(out engine.RunOutcome) error {
+			return enc.Encode(frame{Type: "outcome", Outcome: &out})
+		})
+		var term frame
+		if runErr != nil {
+			term = frame{Type: "error", Error: runErr.Error()}
+		} else {
+			term = frame{Type: "done"}
+		}
+		if err := enc.Encode(term); err != nil {
+			return fmt.Errorf("dist: worker: write terminator: %w", err)
+		}
+	}
+}
+
+// Handler returns the HTTP transport: POST one assign frame, receive the
+// range's NDJSON outcome frames (flushed per frame, so the coordinator
+// streams instead of buffering the whole range) ending in a done or error
+// terminator. Mount it at /v1/run — the path HTTP dialers post to.
+func (w *Worker) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(rw, "dist: POST one assign frame", http.StatusMethodNotAllowed)
+			return
+		}
+		var f frame
+		if err := json.NewDecoder(req.Body).Decode(&f); err != nil || f.Type != "assign" || f.Assign == nil {
+			http.Error(rw, "dist: body must be a single assign frame", http.StatusBadRequest)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(rw)
+		fl, _ := rw.(http.Flusher)
+		send := func(f frame) error {
+			if err := enc.Encode(f); err != nil {
+				return err
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			return nil
+		}
+		runErr := w.Run(req.Context(), *f.Assign, func(out engine.RunOutcome) error {
+			return send(frame{Type: "outcome", Outcome: &out})
+		})
+		if runErr != nil {
+			send(frame{Type: "error", Error: runErr.Error()})
+			return
+		}
+		send(frame{Type: "done"})
+	})
+}

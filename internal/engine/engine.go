@@ -221,10 +221,10 @@ func (e *Engine) Run(ctx context.Context, job Job) (core.Result, error) {
 
 // Sweep executes every job, in parallel up to the worker bound, and returns
 // one outcome per job in job order. Per-job failures land in the outcome's
-// Err; Sweep itself only returns an error when ctx is cancelled (in which
-// case unfinished jobs carry ctx's error). Results are independent of the
-// worker count: each job is deterministic in its key and duplicates are
-// coalesced by the memo cache.
+// Err; Sweep itself only returns an error on a stream-level failure — ctx
+// cancelled or expired, or a panicking job — in which case unfinished jobs
+// carry that error. Results are independent of the worker count: each job is
+// deterministic in its key and duplicates are coalesced by the memo cache.
 //
 // Sweep is the ordered collector over Stream: it materializes one outcome
 // per job, so for spaces too large to hold, range over Stream with a Plan
@@ -232,20 +232,25 @@ func (e *Engine) Run(ctx context.Context, job Job) (core.Result, error) {
 func (e *Engine) Sweep(ctx context.Context, jobs []Job) ([]RunOutcome, error) {
 	outs := make([]RunOutcome, len(jobs))
 	seen := make([]bool, len(jobs))
+	var terminal error
 	for out, err := range e.StreamJobs(ctx, jobs) {
 		if err != nil {
-			break // terminal context error; unfinished jobs are filled below
+			terminal = err // ctx death or a panicking job; unfinished jobs are filled below
+			break
 		}
 		outs[out.Index] = out
 		seen[out.Index] = true
 	}
-	if err := ctx.Err(); err != nil {
+	if terminal == nil {
+		terminal = ctx.Err()
+	}
+	if terminal != nil {
 		for i, ok := range seen {
 			if !ok {
-				outs[i] = RunOutcome{Job: jobs[i], Index: i, Err: err}
+				outs[i] = RunOutcome{Job: jobs[i], Index: i, Err: terminal}
 			}
 		}
-		return outs, err
+		return outs, terminal
 	}
 	return outs, nil
 }

@@ -16,15 +16,26 @@ import (
 // reset them onto the next job's image and oracle stream, and return them
 // instead of constructing per job.
 //
-// The pool is sync.Pool-backed: idle machines are dropped under memory
-// pressure rather than pinned forever, and concurrent sweeps scale without a
-// shared lock on the hot checkout path.
+// The pool is two-tier. The resident slot holds exactly one idle machine by
+// ordinary pointer, immune to sync.Pool's per-GC eviction: streamed plans
+// deal same-config points round-robin, spacing reuses far enough apart that
+// a GC between them used to evict the pooled machine and force a rebuild
+// (machines_built 66 -> 103 in BENCH_PR5). One GC-proof slot per
+// configuration bounds that loss to the overflow tier, which stays
+// sync.Pool-backed so surplus idle machines of concurrent sweeps are still
+// dropped under memory pressure rather than pinned forever.
 type machinePool struct {
 	// cfg is the validated configuration every pooled machine was built
 	// with. It is the pool's identity: machines of different shapes must
 	// never mix, so the engine keys its pools by the full comparable Config
 	// value — the configuration fingerprint.
-	cfg  core.Config
+	cfg core.Config
+
+	// resident is the bounded eviction-resistant slot (nil when empty).
+	mu       sync.Mutex
+	resident *core.Processor
+
+	// pool is the overflow tier for concurrent checkouts beyond the slot.
 	pool sync.Pool
 }
 
@@ -32,8 +43,15 @@ type machinePool struct {
 // constructing on first use. fresh reports which path was taken (for the
 // engine's machine counters and the steady-state zero-allocation gate).
 func (mp *machinePool) get(im *program.Image, stream oracle.Stream) (p *core.Processor, fresh bool, err error) {
-	if v := mp.pool.Get(); v != nil {
-		p = v.(*core.Processor)
+	mp.mu.Lock()
+	p, mp.resident = mp.resident, nil
+	mp.mu.Unlock()
+	if p == nil {
+		if v := mp.pool.Get(); v != nil {
+			p = v.(*core.Processor)
+		}
+	}
+	if p != nil {
 		p.Reset(im, stream)
 		return p, false, nil
 	}
@@ -41,10 +59,19 @@ func (mp *machinePool) get(im *program.Image, stream oracle.Stream) (p *core.Pro
 	return p, true, err
 }
 
-// put returns a machine to the pool. The machine may be in any state —
-// including a run abandoned mid-flight by cancellation — because get resets
-// it before the next checkout.
-func (mp *machinePool) put(p *core.Processor) { mp.pool.Put(p) }
+// put returns a machine to the pool, preferring the eviction-resistant slot.
+// The machine may be in any state — including a run abandoned mid-flight by
+// cancellation — because get resets it before the next checkout.
+func (mp *machinePool) put(p *core.Processor) {
+	mp.mu.Lock()
+	if mp.resident == nil {
+		mp.resident = p
+		mp.mu.Unlock()
+		return
+	}
+	mp.mu.Unlock()
+	mp.pool.Put(p)
+}
 
 // machinePoolFor returns the machine pool for the validated configuration,
 // creating it on first use. Callers hoist this lookup to once per job (it is

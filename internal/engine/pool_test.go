@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"runtime/debug"
 	"testing"
 
@@ -92,6 +93,46 @@ func TestSweepPooledBitIdenticalAcrossWorkers(t *testing.T) {
 	}
 	if st.MachinesBuilt+st.MachinesReused != st.Simulations {
 		t.Errorf("checkout accounting: built %d + reused %d != %d simulations", st.MachinesBuilt, st.MachinesReused, st.Simulations)
+	}
+}
+
+// TestStreamRecyclingSurvivesGC pins the fix for the PR 5 recycling
+// regression: streamed round-robin plans space same-config points apart, and
+// sync.Pool's per-GC eviction meant each arrival could rebuild the machine
+// (machines_built 66 -> 103 in BENCH_PR5). The bounded eviction-resistant
+// slot must keep exactly one idle machine per configuration alive through
+// arbitrary GC pressure, so a reuse-heavy round-robin stream builds exactly
+// one machine per distinct configuration even with forced GCs between every
+// delivery. The resident slot is an ordinary pointer, so unlike the
+// sync.Pool tier this guarantee holds under -race too.
+func TestStreamRecyclingSurvivesGC(t *testing.T) {
+	base := core.DefaultConfig()
+	fdp := base
+	fdp.Prefetch.Kind = core.PrefetchFDP
+	nl := base
+	nl.Prefetch.Kind = core.PrefetchNextLine
+	cfgs := []core.Config{base, fdp, nl}
+	// Round-robin order — config varies fastest — exactly the streamed
+	// interleaving that defeated the bare sync.Pool.
+	var jobs []Job
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, Job{Config: cfg, Workload: "gcc", Seed: seed})
+		}
+	}
+	e := New(WithWorkers(1), WithInstrBudget(5_000))
+	for out, err := range e.StreamJobs(context.Background(), jobs) {
+		if err != nil || out.Err != nil {
+			t.Fatalf("stream: %v / %v", err, out.Err)
+		}
+		// Two cycles: sync.Pool's victim cache survives one collection, so a
+		// single GC would not have reproduced the regression reliably.
+		runtime.GC()
+		runtime.GC()
+	}
+	if st := e.Stats(); st.MachinesBuilt != len(cfgs) {
+		t.Errorf("machines_built = %d over a %d-config round-robin stream under GC pressure; want exactly %d (the eviction-resistant slot is not holding)",
+			st.MachinesBuilt, len(cfgs), len(cfgs))
 	}
 }
 

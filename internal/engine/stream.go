@@ -2,7 +2,9 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"iter"
+	"runtime/debug"
 	"sync"
 )
 
@@ -18,10 +20,12 @@ import (
 //     and reclaims all worker goroutines before the iterator returns.
 //   - Per-job failures arrive as outcomes with Err set (the stream keeps
 //     going, exactly like Sweep's per-outcome errors).
-//   - A stream-level failure — ctx cancelled or expired, or a malformed plan
-//     — is yielded once as a terminal (zero RunOutcome, error) pair after
-//     which the iterator stops. Jobs not yet spawned at cancellation are
-//     never started.
+//   - A stream-level failure — ctx cancelled or expired, a malformed plan,
+//     or a panicking job — is yielded once as a terminal (zero RunOutcome,
+//     error) pair after which the iterator stops. Jobs not yet spawned at
+//     cancellation are never started. A panic in a worker goroutine is
+//     recovered and surfaced as that terminal error (with the panic value
+//     and stack), never as a silent stop.
 //
 // Results are bit-identical whatever the worker count or consumption order:
 // every job is deterministic in its memo key and duplicates coalesce.
@@ -36,6 +40,12 @@ func (e *Engine) Stream(ctx context.Context, p *Plan) iter.Seq2[RunOutcome, erro
 		defer cancel()
 
 		results := make(chan RunOutcome)
+		// A panicking job must end the stream with a terminal error, not a
+		// silent stop: the recovering goroutine records the first panic and
+		// cancels the stream. The write is published to the consumer by the
+		// results-channel close (wg.Done runs after the recover defer).
+		var panicMu sync.Mutex
+		var panicErr error
 		// slots bounds in-flight jobs (spawned but not yet delivered) to the
 		// worker-pool size: enumeration stays just ahead of execution instead
 		// of materializing the plan.
@@ -60,6 +70,16 @@ func (e *Engine) Stream(ctx context.Context, p *Plan) iter.Seq2[RunOutcome, erro
 				wg.Add(1)
 				go func(i int, job Job) {
 					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicErr == nil {
+								panicErr = fmt.Errorf("engine: job %q panicked: %v\n%s", job.Name, r, debug.Stack())
+							}
+							panicMu.Unlock()
+							cancel()
+						}
+					}()
 					out := e.runJob(ctx, job)
 					out.Index = i
 					select {
@@ -84,6 +104,13 @@ func (e *Engine) Stream(ctx context.Context, p *Plan) iter.Seq2[RunOutcome, erro
 				}
 				return
 			}
+		}
+		panicMu.Lock()
+		perr := panicErr
+		panicMu.Unlock()
+		if perr != nil {
+			yield(RunOutcome{}, perr)
+			return
 		}
 		if err := parent.Err(); err != nil {
 			yield(RunOutcome{}, err)

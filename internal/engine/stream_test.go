@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -208,6 +209,52 @@ func TestStreamPerJobFailuresKeepStreaming(t *testing.T) {
 	}
 	if got[1].Err == nil {
 		t.Error("unknown workload did not fail")
+	}
+}
+
+// TestStreamPanicSurfacesAsTerminalError pins the panic contract: a panic in
+// a worker goroutine (here injected through the progress sink, which runJob
+// invokes on the worker's stack) must surface as the stream's terminal error
+// — with the panic value in the message — instead of a hang or a silent
+// stop, and Sweep must propagate the same error.
+func TestStreamPanicSurfacesAsTerminalError(t *testing.T) {
+	jobs := []Job{
+		{Workload: "gcc", Config: core.DefaultConfig()},
+		{Workload: "deltablue", Config: core.DefaultConfig()},
+	}
+	newEngine := func() *Engine {
+		return New(WithWorkers(2), WithInstrBudget(5_000), WithProgress(func(ev Event) {
+			if ev.Kind == EventJobStarted && ev.Job.Name == "gcc" {
+				panic("injected progress-sink panic")
+			}
+		}))
+	}
+
+	done := make(chan struct{})
+	var terminal error
+	go func() {
+		defer close(done)
+		for _, err := range newEngine().StreamJobs(context.Background(), jobs) {
+			if err != nil {
+				terminal = err
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream hung instead of surfacing the worker panic")
+	}
+	if terminal == nil {
+		t.Fatal("panicking job streamed to completion with no terminal error (silent stop)")
+	}
+	if !strings.Contains(terminal.Error(), "injected progress-sink panic") {
+		t.Errorf("terminal error %q does not carry the panic value", terminal)
+	}
+
+	if _, err := newEngine().Sweep(context.Background(), jobs); err == nil ||
+		!strings.Contains(err.Error(), "injected progress-sink panic") {
+		t.Errorf("Sweep error = %v, want the propagated panic", err)
 	}
 }
 

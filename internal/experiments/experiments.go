@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sync"
 	"time"
 
@@ -28,6 +29,15 @@ import (
 	"fdip/internal/stats"
 	"fdip/internal/workloads"
 )
+
+// Streamer abstracts how a plan's points execute: the in-process engine
+// (engine.Engine satisfies this) or a distributed coordinator
+// (dist.Coordinator) sharding the plan across worker processes. Whatever the
+// implementation, the contract is engine.Stream's: every point delivered
+// exactly once, index-tagged, bit-identical to a single-process run.
+type Streamer interface {
+	Stream(ctx context.Context, p *engine.Plan) iter.Seq2[engine.RunOutcome, error]
+}
 
 // Options scales the experiment suite.
 type Options struct {
@@ -40,6 +50,12 @@ type Options struct {
 	// Progress, when non-nil, receives the engine's typed progress
 	// events (delivery is serialised by the engine).
 	Progress func(engine.Event)
+	// Streamer, when non-nil, executes plans instead of the runner's own
+	// engine — the distributed-sweeps hook. The streamer must apply the
+	// same per-job instruction budget as Instrs (e.g. dist.Options.Instrs),
+	// because plans do not bake the budget into their configs; Run and
+	// Baseline (single points) still use the built-in engine either way.
+	Streamer Streamer
 }
 
 // DefaultOptions runs the full suite at 1M instructions per point.
@@ -56,16 +72,19 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Runner executes experiment plans on a shared memoising engine.
+// Runner executes experiment plans on a shared memoising engine (or, when
+// Options.Streamer is set, through an external streamer such as a
+// distributed coordinator).
 type Runner struct {
-	opts Options
-	eng  *engine.Engine
+	opts     Options
+	eng      *engine.Engine
+	streamer Streamer
 }
 
 // NewRunner builds a runner (and its engine) for the given options.
 func NewRunner(opts Options) *Runner {
 	opts.setDefaults()
-	return &Runner{
+	r := &Runner{
 		opts: opts,
 		eng: engine.New(
 			engine.WithWorkers(opts.Workers),
@@ -73,6 +92,11 @@ func NewRunner(opts Options) *Runner {
 			engine.WithProgress(opts.Progress),
 		),
 	}
+	r.streamer = opts.Streamer
+	if r.streamer == nil {
+		r.streamer = r.eng
+	}
+	return r
 }
 
 // Options returns the normalised options.
@@ -111,7 +135,7 @@ func (r *Runner) Run(ctx context.Context, w workloads.Workload, cfg core.Config)
 // worker pool; the collector restores (row, col) order.
 func (r *Runner) Collect(ctx context.Context, p *engine.Plan) (*stats.Collector[core.Result], error) {
 	c := stats.NewCollector[core.Result](p.Rows(), p.Cols())
-	for out, err := range r.eng.Stream(ctx, p) {
+	for out, err := range r.streamer.Stream(ctx, p) {
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactMoments computes mean/variance the naive two-pass way as the oracle.
+func exactMoments(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs))
+	return
+}
+
+func TestMomentsMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 100 + rng.NormFloat64()*3 // offset mean: the catastrophic case for naive sum-of-squares
+	}
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	wantMean, wantVar := exactMoments(xs)
+	if m.Count != 1000 {
+		t.Fatalf("count = %d", m.Count)
+	}
+	if math.Abs(m.Mean-wantMean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", m.Mean, wantMean)
+	}
+	if math.Abs(m.Variance()-wantVar) > 1e-9 {
+		t.Errorf("variance = %v, want %v", m.Variance(), wantVar)
+	}
+}
+
+// TestMomentsMergeMatchesSequential pins the distributed contract: splitting
+// a stream into shards, folding each independently, and merging in any order
+// agrees with one sequential fold to floating-point tolerance.
+func TestMomentsMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 997) // prime: shards of uneven length
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+	}
+	var seq Moments
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	for _, shards := range []int{1, 2, 8, 31} {
+		parts := make([]Moments, shards)
+		for i, x := range xs {
+			parts[i%shards].Add(x)
+		}
+		// Merge in reverse order to show order independence.
+		var merged Moments
+		for i := shards - 1; i >= 0; i-- {
+			merged.Merge(parts[i])
+		}
+		if merged.Count != seq.Count {
+			t.Fatalf("shards=%d: count %d != %d", shards, merged.Count, seq.Count)
+		}
+		if math.Abs(merged.Mean-seq.Mean) > 1e-9*math.Abs(seq.Mean) {
+			t.Errorf("shards=%d: mean %v != %v", shards, merged.Mean, seq.Mean)
+		}
+		if math.Abs(merged.Variance()-seq.Variance()) > 1e-9*seq.Variance() {
+			t.Errorf("shards=%d: variance %v != %v", shards, merged.Variance(), seq.Variance())
+		}
+	}
+	// Merging empties is a no-op in both directions.
+	var empty Moments
+	m := seq
+	m.Merge(empty)
+	if m != seq {
+		t.Error("merging an empty accumulator changed the state")
+	}
+	empty.Merge(seq)
+	if empty != seq {
+		t.Error("merging into an empty accumulator did not adopt the state")
+	}
+}
+
+// exactTopK is the oracle: sort the full stream by (score, seq) and take k.
+func exactTopK(scores []float64, k int, bottom bool) []ScoredItem[int] {
+	items := make([]ScoredItem[int], len(scores))
+	for i, s := range scores {
+		items[i] = ScoredItem[int]{Score: s, Seq: int64(i), Value: i}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Score != items[j].Score {
+			if bottom {
+				return items[i].Score < items[j].Score
+			}
+			return items[i].Score > items[j].Score
+		}
+		return items[i].Seq < items[j].Seq
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+func TestTopKMatchesExactCollection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = math.Floor(rng.Float64()*50) / 10 // coarse grid: plenty of exact ties
+	}
+	for _, bottom := range []bool{false, true} {
+		for _, k := range []int{1, 7, 64, 600} {
+			tk := NewTopK[int](k)
+			if bottom {
+				tk = NewBottomK[int](k)
+			}
+			for i, s := range scores {
+				tk.Add(s, int64(i), i)
+			}
+			got := tk.Items()
+			want := exactTopK(scores, k, bottom)
+			if len(got) != len(want) {
+				t.Fatalf("bottom=%v k=%d: retained %d, want %d", bottom, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("bottom=%v k=%d item %d: got %+v, want %+v", bottom, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKShardMergeBitIdentical pins the distributed contract exactly (no
+// tolerance: retention is discrete): sharding the stream, folding each shard
+// into its own TopK, and merging yields the identical retained set — items,
+// order, and all — as the sequential fold, for every shard count and merge
+// order. The Seq tie-break is what makes this hold in the presence of equal
+// scores.
+func TestTopKShardMergeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	scores := make([]float64, 300)
+	for i := range scores {
+		scores[i] = math.Floor(rng.Float64()*20) / 10 // ~15 distinct values over 300 items: ties dominate
+	}
+	const k = 25
+	seq := NewTopK[int](k)
+	for i, s := range scores {
+		seq.Add(s, int64(i), i)
+	}
+	want := seq.Items()
+	for _, shards := range []int{1, 2, 8} {
+		parts := make([]*TopK[int], shards)
+		for i := range parts {
+			parts[i] = NewTopK[int](k)
+		}
+		for i, s := range scores {
+			parts[i%shards].Add(s, int64(i), i)
+		}
+		merged := NewTopK[int](k)
+		for i := shards - 1; i >= 0; i-- { // reverse order: merge must be order-independent
+			merged.Merge(parts[i])
+		}
+		got := merged.Items()
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d items, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("shards=%d item %d: got %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
