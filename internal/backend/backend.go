@@ -63,10 +63,17 @@ func (c *Config) setDefaults() {
 type Backend struct {
 	cfg Config
 
+	// ar is the uop arena: the single home of every in-flight dynamic
+	// instruction record. The backend owns it — max in-flight is the
+	// decode pipe capacity plus the ROB size, both backend dimensions —
+	// and the fetch engine allocates into it (see core's wiring). Every
+	// structure below holds 32-bit arena indices, never Uop values.
+	ar *pipe.Arena
+
 	// The ROB is stored as parallel arrays: the scheduler and commit scans
-	// touch only the dense issued/done arrays, keeping the big uop records
-	// out of their cache footprint.
-	robU      []pipe.Uop
+	// touch only the dense issued/done arrays, and each entry is a 4-byte
+	// arena index, so nothing here ever copies a uop record.
+	robIdx    []uint32
 	robIssued []bool
 	robDone   []int64
 	head      int
@@ -77,19 +84,22 @@ type Backend struct {
 	issuedPrefix int
 
 	regReady [isa.NumRegs]int64
-	// The decode pipe is a pair of parallel arrays (uops and their
-	// decode-ready cycles) consumed from dpHead; keeping the ready cycles
-	// dense means the fill scan and NextEvent never drag uop records
-	// through the cache.
-	dpU     []pipe.Uop
-	dpReady []int64
-	dpHead  int
+	// The decode pipe is a FIFO ring of delivery segments: each Deliver
+	// call hands over one contiguous arena range whose uops all decode on
+	// the same cycle, so the pipe stores (first, n, ready) triples instead
+	// of per-uop entries — O(1) delivery, no per-instruction append
+	// traffic. Every segment holds at least one instruction and the pipe
+	// holds at most PipeCap instructions (Deliver is bounded by Accept),
+	// so PipeCap segments always suffice.
+	dpSegs   []dpSeg
+	dpSegHd  int
+	dpSegCnt int
+	dpCount  int // instructions across all segments
 
 	missPresent bool
 	missIssued  bool
 	missDone    int64
-	missUop     pipe.Uop
-	redirect    pipe.Uop // stable home for the uop Tick returns on resolve
+	missIdx     uint32 // arena index of the pending mispredict (valid while missPresent)
 
 	// quietUntil memoises the scheduler scan's no-issue horizon: while
 	// quietValid and now < quietUntil, no entry in the issue window can
@@ -104,6 +114,12 @@ type Backend struct {
 
 	// OnCommit, when set, observes every committed (correct-path) uop —
 	// the core uses it for predictor/FTB training and statistics.
+	//
+	// No-retention contract: the pointer aliases arena storage whose slot
+	// is recycled after the callback returns. Callbacks must read what
+	// they need during the call and must not retain the pointer or rely
+	// on the pointed-to contents afterwards (enforced by
+	// core.TestOnCommitPointerNotRetained).
 	OnCommit func(u *pipe.Uop)
 
 	// Committed counts architecturally retired instructions; Issued all
@@ -115,42 +131,57 @@ type Backend struct {
 	MispredictsResolved [5]uint64
 }
 
-// New builds a backend. The decode pipe's backing array is pre-sized to its
-// compaction high-water mark (see fill), so steady-state delivery never
-// allocates.
+// dpSeg is one decode-pipe delivery: a contiguous arena range of n uops that
+// all become ROB-eligible at cycle ready.
+type dpSeg struct {
+	first uint32
+	n     int32
+	ready int64
+}
+
+// New builds a backend, allocating the uop arena it shares with the fetch
+// engine (Arena). All backing arrays are fixed-size, so steady-state
+// delivery never allocates.
 func New(cfg Config) *Backend {
 	cfg.setDefaults()
 	return &Backend{
 		cfg:       cfg,
-		robU:      make([]pipe.Uop, cfg.ROBSize),
+		ar:        pipe.NewArena(cfg.PipeCap + cfg.ROBSize + 8),
+		robIdx:    make([]uint32, cfg.ROBSize),
 		robIssued: make([]bool, cfg.ROBSize),
 		robDone:   make([]int64, cfg.ROBSize),
-		dpU:       make([]pipe.Uop, 0, 5*cfg.PipeCap+8),
-		dpReady:   make([]int64, 0, 5*cfg.PipeCap+8),
+		dpSegs:    make([]dpSeg, cfg.PipeCap),
 	}
 }
 
 // Config returns the normalised configuration.
 func (b *Backend) Config() Config { return b.cfg }
 
+// Arena returns the uop arena the fetch engine allocates into. It is sized
+// to the maximum in-flight uop count (decode pipe capacity + ROB size +
+// slack), which the backend's own backpressure (Accept) enforces.
+func (b *Backend) Arena() *pipe.Arena { return b.ar }
+
 // Reset restores the pristine just-constructed state: an empty ROB and
-// decode pipe, a clean scoreboard, no pending misprediction, and counters
-// zeroed, retaining every backing array (stale ROB slots are unobservable —
-// fill rewrites a slot completely before count makes it live). The OnCommit
-// hook persists; owners that rebind it per run may do so after Reset.
+// decode pipe, an empty uop arena, a clean scoreboard, no pending
+// misprediction, and counters zeroed, retaining every backing array (stale
+// ROB and arena slots are unobservable — fill rewrites a ROB slot completely
+// before count makes it live, and buildUop assigns every arena field). The
+// OnCommit hook persists; owners that rebind it per run may do so after
+// Reset.
 func (b *Backend) Reset() {
+	b.ar.Reset()
 	b.head = 0
 	b.count = 0
 	b.issuedPrefix = 0
 	b.regReady = [isa.NumRegs]int64{}
-	b.dpU = b.dpU[:0]
-	b.dpReady = b.dpReady[:0]
-	b.dpHead = 0
+	b.dpSegHd = 0
+	b.dpSegCnt = 0
+	b.dpCount = 0
 	b.missPresent = false
 	b.missIssued = false
 	b.missDone = 0
-	b.missUop = pipe.Uop{}
-	b.redirect = pipe.Uop{}
+	b.missIdx = 0
 	b.quietUntil = 0
 	b.quietValid = false
 	b.Committed, b.Issued, b.Squashed = 0, 0, 0
@@ -159,31 +190,38 @@ func (b *Backend) Reset() {
 }
 
 // Accept returns how many instructions the decode pipe can take this cycle.
-func (b *Backend) Accept() int { return b.cfg.PipeCap - (len(b.dpU) - b.dpHead) }
+func (b *Backend) Accept() int { return b.cfg.PipeCap - b.dpCount }
 
 // Drained reports whether no work remains anywhere in the backend.
-func (b *Backend) Drained() bool { return b.count == 0 && len(b.dpU) == b.dpHead }
+func (b *Backend) Drained() bool { return b.count == 0 && b.dpCount == 0 }
 
 // ROBOccupancy returns the live ROB entry count.
 func (b *Backend) ROBOccupancy() int { return b.count }
 
-// Deliver accepts fetched uops into the decode pipe at cycle now. (Building
-// uops directly in pipe storage was tried and measured slower: the small
-// caller-owned fetch buffer stays cache-hot, and one streaming copy here
-// beats scattered stores into the pipe's larger ring.)
-func (b *Backend) Deliver(uops []pipe.Uop, now int64) {
-	ready := now + int64(b.cfg.DecodeLatency)
-	for i := range uops {
-		b.dpU = append(b.dpU, uops[i])
-		b.dpReady = append(b.dpReady, ready)
+// Deliver accepts a contiguous arena range of n fetched uops starting at
+// slot first into the decode pipe at cycle now. The uops were written once,
+// in place, by the fetch engine; from here on only the range's (first, n)
+// coordinates move — one segment push, O(1) whatever the batch size.
+func (b *Backend) Deliver(first uint32, n int, now int64) {
+	if n <= 0 {
+		return
 	}
+	tail := b.dpSegHd + b.dpSegCnt
+	if tail >= len(b.dpSegs) {
+		tail -= len(b.dpSegs)
+	}
+	b.dpSegs[tail] = dpSeg{first: first, n: int32(n), ready: now + int64(b.cfg.DecodeLatency)}
+	b.dpSegCnt++
+	b.dpCount += n
 }
 
 // Tick advances one cycle. It returns the resolved misprediction to redirect
 // on, or nil; the backend has already squashed its own younger work, and the
 // caller must repair the front end (FTQ, BPU, prefetcher). The returned
-// pointer aliases backend-owned storage valid until the next Tick — a
-// pointer rather than a value so the per-cycle hot path never copies a uop.
+// pointer aliases the resolved branch's arena slot — the branch survives its
+// own squash and stays live at least until it commits, so the pointer is
+// valid until the next Tick — a pointer rather than a value so the per-cycle
+// hot path never copies a uop.
 func (b *Backend) Tick(now int64) *pipe.Uop {
 	b.fill(now)
 	redirect := b.resolve(now)
@@ -212,8 +250,8 @@ func (b *Backend) idx(i int) int {
 // returned cycle, provided no new uops are delivered in between.
 func (b *Backend) NextEvent(now int64) int64 {
 	next := int64(math.MaxInt64)
-	if b.dpHead < len(b.dpU) {
-		r := b.dpReady[b.dpHead]
+	if b.dpSegCnt > 0 {
+		r := b.dpSegs[b.dpSegHd].ready
 		if r <= now {
 			return now // fill moves an entry or counts a ROB-full stall
 		}
@@ -280,7 +318,7 @@ func (b *Backend) windowReadyAt(now int64) int64 {
 			continue
 		}
 		examined++
-		t := b.readyAt(&b.robU[slot].Instr, now)
+		t := b.readyAt(&b.ar.At(b.robIdx[slot]).Instr, now)
 		if t <= now {
 			return now // ready: do not memoise, issue mutates this cycle
 		}
@@ -297,40 +335,44 @@ func (b *Backend) windowReadyAt(now int64) int64 {
 	return next
 }
 
-// fill moves decoded instructions into the ROB.
+// fill moves decoded instructions into the ROB, consuming whole delivery
+// segments front to back (a segment's uops share one ready cycle, and
+// segments are FIFO in both delivery and decode order).
 func (b *Backend) fill(now int64) {
-	for b.dpHead < len(b.dpU) && b.dpReady[b.dpHead] <= now {
-		if b.count == b.cfg.ROBSize {
-			b.ROBFullCycles++
+	for b.dpSegCnt > 0 {
+		s := &b.dpSegs[b.dpSegHd]
+		if s.ready > now {
 			return
 		}
-		slot := b.idx(b.head + b.count)
-		b.robU[slot] = b.dpU[b.dpHead]
-		b.robIssued[slot] = false
-		b.robDone[slot] = 0
-		b.count++
-		b.quietValid = false // a new window entry may be ready sooner
-		b.dpHead++
-		if b.dpHead == len(b.dpU) {
-			b.dpU = b.dpU[:0]
-			b.dpReady = b.dpReady[:0]
-			b.dpHead = 0
-		} else if b.dpHead > 4*b.cfg.PipeCap {
-			// Compact so the backing arrays stay bounded.
-			n := copy(b.dpU, b.dpU[b.dpHead:])
-			copy(b.dpReady, b.dpReady[b.dpHead:])
-			b.dpU = b.dpU[:n]
-			b.dpReady = b.dpReady[:n]
-			b.dpHead = 0
-		}
-		if u := &b.robU[slot]; u.Mispredicted {
-			if b.missPresent {
-				panic(fmt.Sprintf("backend: second in-flight mispredict (seq %d after %d)", u.Seq, b.missUop.Seq))
+		for s.n > 0 {
+			if b.count == b.cfg.ROBSize {
+				b.ROBFullCycles++
+				return
 			}
-			b.missPresent = true
-			b.missIssued = false
-			b.missUop = *u
+			slot := b.idx(b.head + b.count)
+			ai := s.first
+			b.robIdx[slot] = ai
+			b.robIssued[slot] = false
+			b.robDone[slot] = 0
+			b.count++
+			b.quietValid = false // a new window entry may be ready sooner
+			s.first = b.ar.Next(ai)
+			s.n--
+			b.dpCount--
+			if u := b.ar.At(ai); u.Mispredicted {
+				if b.missPresent {
+					panic(fmt.Sprintf("backend: second in-flight mispredict (seq %d after %d)", u.Seq, b.ar.At(b.missIdx).Seq))
+				}
+				b.missPresent = true
+				b.missIssued = false
+				b.missIdx = ai
+			}
 		}
+		b.dpSegHd++
+		if b.dpSegHd == len(b.dpSegs) {
+			b.dpSegHd = 0
+		}
+		b.dpSegCnt--
 	}
 }
 
@@ -340,21 +382,23 @@ func (b *Backend) fill(now int64) {
 func (b *Backend) resolve(now int64) *pipe.Uop {
 	if b.missPresent && b.missIssued && b.missDone <= now {
 		b.missPresent = false
-		b.MispredictsResolved[b.missUop.MissKind]++
-		b.SquashAfter(b.missUop.Seq)
-		b.redirect = b.missUop
-		return &b.redirect
+		u := b.ar.At(b.missIdx)
+		b.MispredictsResolved[u.MissKind]++
+		b.SquashAfter(u.Seq)
+		return u
 	}
 	return nil
 }
 
-// commit retires completed instructions in order.
+// commit retires completed instructions in order, releasing each one's
+// arena slot — the oldest live slot, since the arena allocates in fetch
+// order — once the OnCommit observer has returned.
 func (b *Backend) commit(now int64) {
 	for n := 0; n < b.cfg.CommitWidth && b.count > 0; n++ {
 		if !b.robIssued[b.head] || b.robDone[b.head] > now {
 			return
 		}
-		u := &b.robU[b.head]
+		u := b.ar.At(b.robIdx[b.head])
 		if !u.OnCorrectPath {
 			// Wrong-path work is removed by SquashAfter, never committed;
 			// reaching here means the redirect protocol was violated.
@@ -363,6 +407,7 @@ func (b *Backend) commit(now int64) {
 		if b.OnCommit != nil {
 			b.OnCommit(u)
 		}
+		b.ar.FreeOldest(1)
 		b.Committed++
 		b.head = b.idx(b.head + 1)
 		b.count--
@@ -395,7 +440,8 @@ func (b *Backend) issue(now int64) {
 			continue
 		}
 		examined++
-		u := &b.robU[slot]
+		ai := b.robIdx[slot]
+		u := b.ar.At(ai)
 		if t := b.readyAt(&u.Instr, now); t > now {
 			if t < quiet {
 				quiet = t
@@ -408,7 +454,7 @@ func (b *Backend) issue(now int64) {
 		if d := u.Instr.Dst; d != isa.NoReg && d != 0 {
 			b.regReady[d] = done
 		}
-		if u.Mispredicted && b.missPresent && u.Seq == b.missUop.Seq {
+		if u.Mispredicted && b.missPresent && ai == b.missIdx {
 			b.missIssued = true
 			b.missDone = done
 		}
@@ -427,24 +473,30 @@ func (b *Backend) issue(now int64) {
 
 // SquashAfter removes every instruction younger than seq — ROB tail entries
 // and the whole decode pipe (anything decoded after a resolving branch is
-// younger by construction).
+// younger by construction) — and rolls their arena slots back. The squashed
+// set is exactly the arena's youngest allocated suffix: every live uop
+// younger than seq sits in the ROB tail or the decode pipe, both counted
+// here.
 func (b *Backend) SquashAfter(seq uint64) {
 	b.quietValid = false // window membership changes
+	squashed := 0
 	for b.count > 0 {
 		tail := b.idx(b.head + b.count - 1)
-		if b.robU[tail].Seq <= seq {
+		if b.ar.At(b.robIdx[tail]).Seq <= seq {
 			break
 		}
 		b.count--
-		b.Squashed++
+		squashed++
 	}
 	if b.issuedPrefix > b.count {
 		b.issuedPrefix = b.count
 	}
-	b.Squashed += uint64(len(b.dpU) - b.dpHead)
-	b.dpU = b.dpU[:0]
-	b.dpReady = b.dpReady[:0]
-	b.dpHead = 0
+	squashed += b.dpCount
+	b.Squashed += uint64(squashed)
+	b.dpSegHd = 0
+	b.dpSegCnt = 0
+	b.dpCount = 0
+	b.ar.FreeNewest(squashed)
 	// A squashed younger mispredict cannot exist (only one correct-path
 	// mispredict is ever in flight), so missPresent stays untouched unless
 	// it was the resolving branch itself, which resolve() already cleared.

@@ -20,6 +20,20 @@ func smallBackend() *Backend {
 	return New(Config{ROBSize: 16, IssueWidth: 2, CommitWidth: 2, IssueWindow: 8, DecodeLatency: 1, PipeCap: 8})
 }
 
+// deliver plays the fetch engine's role: write each uop once into the
+// backend's arena, then hand the (first, n) range to the decode pipe.
+func deliver(b *Backend, uops []pipe.Uop, now int64) {
+	var first uint32
+	for i, u := range uops {
+		idx, slot := b.Arena().Alloc()
+		*slot = u
+		if i == 0 {
+			first = idx
+		}
+	}
+	b.Deliver(first, len(uops), now)
+}
+
 // run drives the backend n cycles starting at cycle start.
 func run(b *Backend, start, n int64) (redirects []pipe.Uop) {
 	for now := start; now < start+n; now++ {
@@ -34,7 +48,7 @@ func TestCommitInOrder(t *testing.T) {
 	b := smallBackend()
 	var committed []uint64
 	b.OnCommit = func(u *pipe.Uop) { committed = append(committed, u.Seq) }
-	b.Deliver([]pipe.Uop{mkUop(0, isa.ALU), mkUop(1, isa.ALU), mkUop(2, isa.Mul), mkUop(3, isa.ALU)}, 0)
+	deliver(b, []pipe.Uop{mkUop(0, isa.ALU), mkUop(1, isa.ALU), mkUop(2, isa.Mul), mkUop(3, isa.ALU)}, 0)
 	run(b, 1, 20)
 	if b.Committed != 4 {
 		t.Fatalf("Committed = %d", b.Committed)
@@ -51,7 +65,7 @@ func TestCommitInOrder(t *testing.T) {
 
 func TestDecodeLatencyDelaysFill(t *testing.T) {
 	b := New(Config{ROBSize: 8, IssueWidth: 2, CommitWidth: 2, IssueWindow: 8, DecodeLatency: 3, PipeCap: 8})
-	b.Deliver([]pipe.Uop{mkUop(0, isa.ALU)}, 10)
+	deliver(b, []pipe.Uop{mkUop(0, isa.ALU)}, 10)
 	b.Tick(11)
 	b.Tick(12)
 	if b.ROBOccupancy() != 0 {
@@ -71,7 +85,7 @@ func TestScoreboardSerializesRAW(t *testing.T) {
 	u1 := mkUop(1, isa.ALU)
 	u1.Instr.Src1 = 5
 	u1.Instr.Dst = 6
-	b.Deliver([]pipe.Uop{u0, u1}, 0)
+	deliver(b, []pipe.Uop{u0, u1}, 0)
 	b.Tick(1) // fill+issue u0 (done 1+4=5); u1 not ready
 	if b.Issued != 1 {
 		t.Fatalf("Issued = %d, want 1 (RAW hazard)", b.Issued)
@@ -97,7 +111,7 @@ func TestOutOfOrderIssueWithinWindow(t *testing.T) {
 	u1.Instr.Src1 = 5
 	u2 := mkUop(2, isa.ALU)
 	u2.Instr.Dst = 7
-	b.Deliver([]pipe.Uop{u0, u1, u2}, 0)
+	deliver(b, []pipe.Uop{u0, u1, u2}, 0)
 	b.Tick(1)
 	// u0 and u2 issue around the stalled u1.
 	if b.Issued != 2 {
@@ -115,7 +129,7 @@ func TestMispredictResolveRedirectsAndSquashes(t *testing.T) {
 	wrong1.OnCorrectPath = false
 	wrong2 := mkUop(3, isa.ALU)
 	wrong2.OnCorrectPath = false
-	b.Deliver([]pipe.Uop{mkUop(0, isa.ALU), br, wrong1, wrong2}, 0)
+	deliver(b, []pipe.Uop{mkUop(0, isa.ALU), br, wrong1, wrong2}, 0)
 
 	redirects := run(b, 1, 10)
 	if len(redirects) != 1 {
@@ -144,7 +158,7 @@ func TestSquashClearsYoungerWorkEverywhere(t *testing.T) {
 	br := mkUop(0, isa.Jump)
 	br.Mispredicted = true
 	br.ActualNextPC = 0x8000
-	b.Deliver([]pipe.Uop{br}, 0)
+	deliver(b, []pipe.Uop{br}, 0)
 	b.Tick(1) // fill + issue (done cycle 2)
 	// Younger wrong-path work arrives while the branch executes — some
 	// will be in the decode pipe, some may reach the ROB; all must die at
@@ -153,7 +167,7 @@ func TestSquashClearsYoungerWorkEverywhere(t *testing.T) {
 	w1.OnCorrectPath = false
 	w2 := mkUop(2, isa.ALU)
 	w2.OnCorrectPath = false
-	b.Deliver([]pipe.Uop{w1, w2}, 1)
+	deliver(b, []pipe.Uop{w1, w2}, 1)
 	red := run(b, 2, 6)
 	if len(red) != 1 {
 		t.Fatalf("redirects = %d", len(red))
@@ -180,7 +194,7 @@ func TestROBFullBackpressure(t *testing.T) {
 		u.Instr.Dst = uint8(1 + i)
 		uops = append(uops, u)
 	}
-	b.Deliver(uops, 0)
+	deliver(b, uops, 0)
 	b.Tick(0)
 	if b.ROBOccupancy() != 4 {
 		t.Fatalf("ROB occupancy = %d", b.ROBOccupancy())
@@ -200,7 +214,7 @@ func TestAcceptTracksPipeOccupancy(t *testing.T) {
 	if b.Accept() != 8 {
 		t.Fatalf("Accept = %d", b.Accept())
 	}
-	b.Deliver([]pipe.Uop{mkUop(0, isa.ALU), mkUop(1, isa.ALU)}, 0)
+	deliver(b, []pipe.Uop{mkUop(0, isa.ALU), mkUop(1, isa.ALU)}, 0)
 	if b.Accept() != 6 {
 		t.Fatalf("Accept after deliver = %d", b.Accept())
 	}
@@ -214,7 +228,7 @@ func TestWrongPathAtCommitHeadPanics(t *testing.T) {
 	b := smallBackend()
 	w := mkUop(0, isa.ALU)
 	w.OnCorrectPath = false
-	b.Deliver([]pipe.Uop{w}, 0)
+	deliver(b, []pipe.Uop{w}, 0)
 	defer func() {
 		if recover() == nil {
 			t.Error("wrong-path commit did not panic")
@@ -229,7 +243,7 @@ func TestRegisterZeroNeverBlocks(t *testing.T) {
 	u0.Instr.Dst = 0 // r0: write must be ignored
 	u1 := mkUop(1, isa.ALU)
 	u1.Instr.Src1 = 0
-	b.Deliver([]pipe.Uop{u0, u1}, 0)
+	deliver(b, []pipe.Uop{u0, u1}, 0)
 	b.Tick(1)
 	if b.Issued != 2 {
 		t.Fatalf("Issued = %d; r0 dependence should not stall", b.Issued)

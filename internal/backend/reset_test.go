@@ -34,7 +34,7 @@ func beTrace(b *Backend, seed int64) []uint64 {
 				batch = append(batch, u)
 				seq++
 			}
-			b.Deliver(batch, now)
+			deliver(b, batch, now)
 		}
 		if u := b.Tick(now); u != nil {
 			missInFlight = false

@@ -79,12 +79,42 @@ type entry struct {
 	target uint64
 }
 
+// probeMemoSize is the direct-mapped probe-memo table size (conventional
+// mode only); a power of two.
+const probeMemoSize = 2048
+
+// probeMemo caches the outcome of one conventional-mode sequential probe
+// walk from a given start pc: how many addresses missed before the
+// terminating-CTI entry hit (and where that entry lives), or that the whole
+// MaxBlockInstrs scan missed. An entry is valid only while its generation
+// matches the table's: any insert allocation (new entry or replacement) can
+// change which addresses hit, so it advances the generation and invalidates
+// the whole memo at once. In-place retrains (Updates) leave the hit/miss
+// pattern untouched — the tags don't move — and the replay re-reads CTI and
+// target live from the hit entry, so they do not invalidate.
+type probeMemo struct {
+	pc     uint64
+	gen    uint64
+	si     int32
+	way    int32
+	misses uint8
+	hit    bool
+}
+
 // TargetBuffer is a set-associative FTB/BTB with true-LRU replacement.
 type TargetBuffer struct {
 	cfg      Config
 	sets     [][]entry
 	setShift uint
 	clock    uint64
+
+	// memo caches conventional-mode probe walks (nil in block-oriented
+	// mode); gen is the memo validity generation, advanced by insert
+	// allocations. Replayed walks reproduce the counters and LRU side
+	// effects of the probes they skip exactly, so statistics are identical
+	// with and without the memo.
+	memo []probeMemo
+	gen  uint64
 
 	// Lookups counts raw probes (conventional mode performs several per
 	// predicted block). Hits/Misses count probe outcomes. Inserts counts
@@ -103,7 +133,11 @@ func New(cfg Config) *TargetBuffer {
 	for i := range sets {
 		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return &TargetBuffer{cfg: cfg, sets: sets, setShift: uint(bits.TrailingZeros(uint(cfg.Sets)))}
+	t := &TargetBuffer{cfg: cfg, sets: sets, setShift: uint(bits.TrailingZeros(uint(cfg.Sets))), gen: 1}
+	if !cfg.BlockOriented {
+		t.memo = make([]probeMemo, probeMemoSize)
+	}
+	return t
 }
 
 // Config returns the (normalised) configuration.
@@ -173,6 +207,7 @@ func (t *TargetBuffer) insert(pc uint64, length int, cti isa.Kind, target uint64
 fill:
 	set[victim] = entry{valid: true, tag: tag, stamp: t.clock, length: uint8(length), cti: cti, target: target}
 	t.Inserts++
+	t.gen++ // a new resident address: every memoised walk may now be stale
 }
 
 // PredictBlock returns the predicted fetch block starting at pc. In
@@ -181,6 +216,14 @@ fill:
 // entry hits or MaxBlockInstrs addresses have been scanned. ok reports
 // whether any prediction was found; on a miss the caller should assume a
 // maximal sequential block.
+//
+// The conventional-mode walk is memoised per start pc and table generation:
+// a loop re-predicting the same block (the common case — blocks repeat far
+// more often than the table changes) degenerates to one memo lookup. The
+// replay charges the exact probe counters the skipped walk would have
+// (Lookups still counts every raw probe) and applies the same LRU side
+// effect — only the hit probe touches the clock and a stamp — so every
+// statistic is identical with and without the memo.
 func (t *TargetBuffer) PredictBlock(pc uint64) (Pred, bool) {
 	if t.cfg.BlockOriented {
 		p, ok := t.lookup(pc)
@@ -189,11 +232,39 @@ func (t *TargetBuffer) PredictBlock(pc uint64) (Pred, bool) {
 		}
 		return p, ok
 	}
-	for i := 0; i < t.cfg.MaxBlockInstrs; i++ {
-		if p, ok := t.lookup(pc + uint64(i)*isa.InstrBytes); ok {
-			return Pred{NumInstrs: i + 1, CTI: p.CTI, Target: p.Target}, true
+	m := &t.memo[(pc>>2)&(probeMemoSize-1)]
+	if m.pc == pc && m.gen == t.gen {
+		if !m.hit {
+			t.Lookups += uint64(t.cfg.MaxBlockInstrs)
+			t.Misses += uint64(t.cfg.MaxBlockInstrs)
+			return Pred{}, false
 		}
+		t.Lookups += uint64(m.misses) + 1
+		t.Misses += uint64(m.misses)
+		t.Hits++
+		t.clock++
+		e := &t.sets[m.si][m.way]
+		e.stamp = t.clock
+		return Pred{NumInstrs: int(m.misses) + 1, CTI: e.cti, Target: e.target}, true
 	}
+	for i := 0; i < t.cfg.MaxBlockInstrs; i++ {
+		apc := pc + uint64(i)*isa.InstrBytes
+		t.Lookups++
+		si, tag := t.setAndTag(apc)
+		set := t.sets[si]
+		for w := range set {
+			e := &set[w]
+			if e.valid && e.tag == tag {
+				t.Hits++
+				t.clock++
+				e.stamp = t.clock
+				*m = probeMemo{pc: pc, gen: t.gen, si: int32(si), way: int32(w), misses: uint8(i), hit: true}
+				return Pred{NumInstrs: i + 1, CTI: e.cti, Target: e.target}, true
+			}
+		}
+		t.Misses++
+	}
+	*m = probeMemo{pc: pc, gen: t.gen}
 	return Pred{}, false
 }
 
@@ -216,6 +287,7 @@ func (t *TargetBuffer) InvalidateAll() {
 			set[i] = entry{}
 		}
 	}
+	t.gen++ // memoised hits now point at invalid entries
 }
 
 // Reset restores the pristine just-constructed state: every entry invalid,
@@ -225,6 +297,8 @@ func (t *TargetBuffer) Reset() {
 		clear(set)
 	}
 	t.clock = 0
+	clear(t.memo) // gen rewinds to its fresh value, so stale entries must go
+	t.gen = 1
 	t.Lookups, t.Hits, t.Misses = 0, 0, 0
 	t.Inserts, t.Updates, t.Evictions = 0, 0, 0
 }

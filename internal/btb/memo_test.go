@@ -1,0 +1,107 @@
+package btb
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdip/internal/isa"
+)
+
+// memoFreeWalk is the pre-memo conventional scan, preserved as the reference
+// model: probe each sequential address through the counter-charging lookup
+// until an entry hits.
+func memoFreeWalk(t *TargetBuffer, pc uint64) (Pred, bool) {
+	for i := 0; i < t.cfg.MaxBlockInstrs; i++ {
+		if p, ok := t.lookup(pc + uint64(i)*isa.InstrBytes); ok {
+			return Pred{NumInstrs: i + 1, CTI: p.CTI, Target: p.Target}, true
+		}
+	}
+	return Pred{}, false
+}
+
+// TestProbeMemoMatchesFreshWalk is the memo's bit-identity contract: over a
+// long randomized interleaving, the memoised PredictBlock must produce the
+// same predictions, the same Lookups/Hits/Misses accounting, and the same
+// LRU clock trajectory as the unmemoised sequential walk.
+func TestProbeMemoMatchesFreshWalk(t *testing.T) {
+	cfg := Config{Sets: 8, Ways: 2, BlockOriented: false, MaxBlockInstrs: 8, AddrBits: 48}
+	for seed := int64(1); seed <= 5; seed++ {
+		memod := New(cfg)
+		ref := New(cfg) // driven only through memoFreeWalk, never the memo
+
+		rng := rand.New(rand.NewSource(seed))
+		kinds := []isa.Kind{isa.CondBranch, isa.Jump, isa.Call, isa.Ret}
+		pcs := make([]uint64, 24)
+		for i := range pcs {
+			pcs[i] = 0x1000 + uint64(rng.Intn(256))*isa.InstrBytes
+		}
+		for i := 0; i < 4000; i++ {
+			switch r := rng.Intn(100); {
+			case r < 70:
+				pc := pcs[rng.Intn(len(pcs))]
+				gp, gok := memod.PredictBlock(pc)
+				wp, wok := memoFreeWalk(ref, pc)
+				if gp != wp || gok != wok {
+					t.Fatalf("seed %d step %d: PredictBlock(%#x) = %+v,%v; fresh walk %+v,%v",
+						seed, i, pc, gp, gok, wp, wok)
+				}
+			case r < 95:
+				start := pcs[rng.Intn(len(pcs))]
+				n, k := 1+rng.Intn(8), kinds[rng.Intn(len(kinds))]
+				memod.TrainBlock(start, n, k, start^0xbeef0)
+				ref.TrainBlock(start, n, k, start^0xbeef0)
+			case r < 98:
+				memod.InvalidateAll()
+				ref.InvalidateAll()
+			default:
+				memod.Reset()
+				ref.Reset()
+			}
+			if memod.Lookups != ref.Lookups || memod.Hits != ref.Hits || memod.Misses != ref.Misses ||
+				memod.Inserts != ref.Inserts || memod.Updates != ref.Updates || memod.Evictions != ref.Evictions {
+				t.Fatalf("seed %d step %d: counters diverged: memo {L%d H%d M%d I%d U%d E%d} vs fresh {L%d H%d M%d I%d U%d E%d}",
+					seed, i,
+					memod.Lookups, memod.Hits, memod.Misses, memod.Inserts, memod.Updates, memod.Evictions,
+					ref.Lookups, ref.Hits, ref.Misses, ref.Inserts, ref.Updates, ref.Evictions)
+			}
+			if memod.clock != ref.clock {
+				t.Fatalf("seed %d step %d: LRU clock diverged: %d vs %d", seed, i, memod.clock, ref.clock)
+			}
+		}
+	}
+}
+
+// TestProbeMemoReplaysRetrainedTarget pins the Updates-don't-invalidate rule:
+// an in-place retrain changes the entry's target without advancing the memo
+// generation, and the replay must still return the fresh target because it
+// re-reads the entry rather than the memo.
+func TestProbeMemoReplaysRetrainedTarget(t *testing.T) {
+	tb := New(Config{Sets: 8, Ways: 2, BlockOriented: false, MaxBlockInstrs: 8, AddrBits: 48})
+	tb.TrainBlock(0x1000, 3, isa.Jump, 0x2000)
+	if p, ok := tb.PredictBlock(0x1000); !ok || p.Target != 0x2000 || p.NumInstrs != 3 {
+		t.Fatalf("first walk: %+v, %v", p, ok)
+	}
+	gen := tb.gen
+	tb.TrainBlock(0x1000, 3, isa.Jump, 0x3000) // same branch pc: in-place update
+	if tb.gen != gen {
+		t.Fatalf("in-place retrain advanced the memo generation (%d -> %d)", gen, tb.gen)
+	}
+	if p, ok := tb.PredictBlock(0x1000); !ok || p.Target != 0x3000 {
+		t.Fatalf("memoised replay returned stale target: %+v, %v", p, ok)
+	}
+}
+
+// TestProbeMemoInvalidatedByAllocation pins the other side: an allocation
+// that creates an earlier terminating CTI within a previously memoised walk
+// must be honoured on the very next prediction.
+func TestProbeMemoInvalidatedByAllocation(t *testing.T) {
+	tb := New(Config{Sets: 8, Ways: 2, BlockOriented: false, MaxBlockInstrs: 8, AddrBits: 48})
+	tb.TrainBlock(0x1000, 5, isa.Jump, 0x2000) // branch at 0x1010
+	if p, _ := tb.PredictBlock(0x1000); p.NumInstrs != 5 {
+		t.Fatalf("walk before allocation: %+v", p)
+	}
+	tb.TrainBlock(0x1000, 2, isa.CondBranch, 0x4000) // new branch at 0x1004
+	if p, _ := tb.PredictBlock(0x1000); p.NumInstrs != 2 || p.Target != 0x4000 {
+		t.Fatalf("memo served a stale walk across an allocation: %+v", p)
+	}
+}

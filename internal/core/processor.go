@@ -39,10 +39,8 @@ type Processor struct {
 
 	now int64
 
-	// uopBuf is the caller-owned fetch delivery buffer, reused every cycle;
-	// fillFn is the pre-bound completion callback. Both exist so Step makes
-	// zero heap allocations in steady state.
-	uopBuf []pipe.Uop
+	// fillFn is the pre-bound completion callback, so Step makes zero heap
+	// allocations in steady state.
 	fillFn func(*memsys.Transfer)
 
 	ftqOcc *stats.Histogram
@@ -107,17 +105,19 @@ func New(cfg Config, im *program.Image, stream oracle.Stream) (*Processor, error
 		p.pf = prefetch.NewFDP(env, cfg.Prefetch.FDP)
 	}
 
+	// The fetch engine writes each uop once, directly into the backend's
+	// arena; the backend sizes the arena to max in-flight and its own
+	// backpressure (Accept) bounds allocation.
 	if cfg.PerfectL1I {
-		p.fe = frontend.NewPerfectFetchEngine(im, stream, p.q, p.l1i, p.pfb, p.hier,
+		p.fe = frontend.NewPerfectFetchEngine(im, stream, p.q, p.be.Arena(), p.l1i, p.pfb, p.hier,
 			cfg.FetchWidth, p.pf.OnDemandAccess)
 	} else {
-		p.fe = frontend.NewFetchEngine(im, stream, p.q, p.l1i, p.pfb, p.hier,
+		p.fe = frontend.NewFetchEngine(im, stream, p.q, p.be.Arena(), p.l1i, p.pfb, p.hier,
 			cfg.FetchWidth, p.pf.OnDemandAccess)
 	}
 
 	p.ftqOcc = stats.NewHistogram(cfg.FTQEntries+1, 1)
 	p.robOcc = stats.NewHistogram(cfg.Backend.ROBSize+1, 1)
-	p.uopBuf = make([]pipe.Uop, 0, cfg.FetchWidth)
 	p.fillFn = p.fill
 	return p, nil
 }
@@ -148,7 +148,6 @@ func (p *Processor) Reset(im *program.Image, stream oracle.Stream) {
 	p.pf.Reset()
 	p.fe.Reset(im, stream)
 	p.now = 0
-	p.uopBuf = p.uopBuf[:0]
 	p.ftqOcc.Reset()
 	p.robOcc.Reset()
 	p.condBranches, p.ctisCommitted = 0, 0
@@ -230,11 +229,11 @@ func (p *Processor) Step() {
 		p.fe.Redirect()
 	}
 
-	// 3. Fetch: demand access + uop delivery. The small processor-owned
-	// buffer stays hot in cache; Deliver streams it into the decode pipe.
-	p.uopBuf = p.fe.Tick(now, p.be.Accept(), p.uopBuf[:0])
-	if len(p.uopBuf) > 0 {
-		p.be.Deliver(p.uopBuf, now)
+	// 3. Fetch: demand access + uop delivery. Fetch writes each uop once
+	// into the shared arena; only the (first, n) index range is handed to
+	// the decode pipe — no uop is ever copied.
+	if first, n := p.fe.Tick(now, p.be.Accept()); n > 0 {
+		p.be.Deliver(first, n, now)
 	}
 
 	// 4. BPU: one fetch-block prediction.

@@ -336,6 +336,23 @@ func TestSummaryShardMergeMatchesSequential(t *testing.T) {
 		if d := merged.Moments.Mean - seq.Moments.Mean; d > 1e-12 || d < -1e-12 {
 			t.Errorf("shards=%d: merged mean drifts by %g", shards, d)
 		}
+		// Quantile legs: count and min/max stay exact under merge; the
+		// estimates themselves are approximate, so bound them by the
+		// metric's exact range rather than pinning bits.
+		if merged.P50.Count() != seq.P50.Count() || merged.P90.Count() != seq.P90.Count() {
+			t.Errorf("shards=%d: quantile counts %d/%d, want %d/%d",
+				shards, merged.P50.Count(), merged.P90.Count(), seq.P50.Count(), seq.P90.Count())
+		}
+		if merged.P50.Min() != seq.P50.Min() || merged.P50.Max() != seq.P50.Max() {
+			t.Errorf("shards=%d: merged min/max %v/%v, want exact %v/%v",
+				shards, merged.P50.Min(), merged.P50.Max(), seq.P50.Min(), seq.P50.Max())
+		}
+		for name, q := range map[string]*stats.P2Quantile{"p50": merged.P50, "p90": merged.P90} {
+			if v := q.Quantile(); v < q.Min() || v > q.Max() {
+				t.Errorf("shards=%d: merged %s=%v outside observed range [%v, %v]",
+					shards, name, v, q.Min(), q.Max())
+			}
+		}
 		for name, pair := range map[string][2][]stats.ScoredItem[engine.Job]{
 			"top":    {merged.Top.Items(), seq.Top.Items()},
 			"bottom": {merged.Bottom.Items(), seq.Bottom.Items()},

@@ -33,6 +33,11 @@ type Summary struct {
 	Moments stats.Moments
 	// Top and Bottom retain the k highest- and lowest-metric points.
 	Top, Bottom *stats.TopK[engine.Job]
+	// P50 and P90 estimate the metric's median and 90th percentile in
+	// fixed memory (stats.P2Quantile). Unlike the other legs they merge
+	// approximately: a sharded reduction's quantiles track, but are not
+	// bit-identical to, the sequential pass (min/max and count stay exact).
+	P50, P90 *stats.P2Quantile
 	// Failures counts outcomes that carried an error (excluded from the
 	// metric's moments and extremes).
 	Failures int
@@ -46,6 +51,8 @@ func NewSummary(name string, k int, metric Metric) *Summary {
 		MetricName: name,
 		Top:        stats.NewTopK[engine.Job](k),
 		Bottom:     stats.NewBottomK[engine.Job](k),
+		P50:        stats.NewP2Quantile(0.5),
+		P90:        stats.NewP2Quantile(0.9),
 		metric:     metric,
 	}
 }
@@ -60,6 +67,8 @@ func (s *Summary) Observe(out engine.RunOutcome) {
 	s.Moments.Add(v)
 	s.Top.Add(v, int64(out.Index), out.Job)
 	s.Bottom.Add(v, int64(out.Index), out.Job)
+	s.P50.Add(v)
+	s.P90.Add(v)
 }
 
 // Merge folds another shard's summary into s.
@@ -67,13 +76,16 @@ func (s *Summary) Merge(o *Summary) {
 	s.Moments.Merge(o.Moments)
 	s.Top.Merge(o.Top)
 	s.Bottom.Merge(o.Bottom)
+	s.P50.Merge(o.P50)
+	s.P90.Merge(o.P90)
 	s.Failures += o.Failures
 }
 
 // String renders the summary in report form.
 func (s *Summary) String() string {
-	out := fmt.Sprintf("%s: n=%d mean=%.4f stddev=%.4f failures=%d",
-		s.MetricName, s.Moments.Count, s.Moments.Mean, s.Moments.StdDev(), s.Failures)
+	out := fmt.Sprintf("%s: n=%d mean=%.4f stddev=%.4f p50=%.4f p90=%.4f failures=%d",
+		s.MetricName, s.Moments.Count, s.Moments.Mean, s.Moments.StdDev(),
+		s.P50.Quantile(), s.P90.Quantile(), s.Failures)
 	for _, it := range s.Top.Items() {
 		out += fmt.Sprintf("\n  top    %-40s %.4f", it.Value.Name, it.Score)
 	}

@@ -18,10 +18,15 @@ import (
 type NotifyFunc func(line uint64, l1Hit, pfbHit bool, now int64)
 
 // FetchEngine drains the FTQ head through the L1-I, producing tagged uops.
+// Each delivered instruction is written exactly once, into a slot of the
+// shared uop arena (owned by the backend, which sizes it to max in-flight);
+// Tick hands the backend a contiguous (first, n) arena range instead of a
+// buffer of uop values.
 type FetchEngine struct {
 	im     *program.Image
 	stream oracle.Stream
 	q      *ftq.Queue
+	ar     *pipe.Arena
 	l1i    *cache.Cache
 	pfb    *cache.PrefetchBuffer
 	hier   *memsys.Hierarchy
@@ -52,26 +57,27 @@ type FetchEngine struct {
 }
 
 // NewFetchEngine builds a fetch engine delivering up to width instructions
-// per cycle. notify may be nil.
-func NewFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, l1i *cache.Cache,
+// per cycle into arena ar (the backend's, see backend.Arena). notify may be
+// nil.
+func NewFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, ar *pipe.Arena, l1i *cache.Cache,
 	pfb *cache.PrefetchBuffer, hier *memsys.Hierarchy, width int, notify NotifyFunc) *FetchEngine {
-	return newFetchEngine(im, stream, q, l1i, pfb, hier, width, notify, false)
+	return newFetchEngine(im, stream, q, ar, l1i, pfb, hier, width, notify, false)
 }
 
 // NewPerfectFetchEngine builds a fetch engine whose every demand access hits
 // — the no-front-end-stall upper bound used by the evaluation.
-func NewPerfectFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, l1i *cache.Cache,
+func NewPerfectFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, ar *pipe.Arena, l1i *cache.Cache,
 	pfb *cache.PrefetchBuffer, hier *memsys.Hierarchy, width int, notify NotifyFunc) *FetchEngine {
-	return newFetchEngine(im, stream, q, l1i, pfb, hier, width, notify, true)
+	return newFetchEngine(im, stream, q, ar, l1i, pfb, hier, width, notify, true)
 }
 
-func newFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, l1i *cache.Cache,
+func newFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, ar *pipe.Arena, l1i *cache.Cache,
 	pfb *cache.PrefetchBuffer, hier *memsys.Hierarchy, width int, notify NotifyFunc, perfect bool) *FetchEngine {
 	if width < 1 {
 		width = 4
 	}
 	f := &FetchEngine{
-		im: im, stream: stream, q: q, l1i: l1i, pfb: pfb, hier: hier,
+		im: im, stream: stream, q: q, ar: ar, l1i: l1i, pfb: pfb, hier: hier,
 		width: width, notify: notify, perfect: perfect,
 	}
 	if is, ok := stream.(interface{ NextInto(*oracle.Record) bool }); ok {
@@ -139,32 +145,32 @@ func (f *FetchEngine) Redirect() {
 	f.stalled = false
 }
 
-// Tick fetches from the FTQ head into buf, which the caller owns and reuses
-// across cycles (pass it re-sliced to length zero). accept is the backend's
-// remaining decode capacity. It returns buf extended with the uops delivered
-// this cycle — empty most cycles a miss is outstanding — never exceeding
-// accept; appends stay within the caller's capacity when buf can hold the
-// fetch width, so the hot path performs no allocation.
-func (f *FetchEngine) Tick(now int64, accept int, buf []pipe.Uop) []pipe.Uop {
-	out := buf
+// Tick fetches from the FTQ head, writing each delivered instruction once
+// into a freshly allocated arena slot, and returns the contiguous range
+// (first, n) delivered this cycle — n is zero most cycles a miss is
+// outstanding — never exceeding accept, the backend's remaining decode
+// capacity. The arena's backpressure is exactly accept (pipe capacity) plus
+// ROB occupancy, both bounded, so allocation never overflows and the hot
+// path never copies a uop.
+func (f *FetchEngine) Tick(now int64, accept int) (first uint32, n int) {
 	if f.exhausted {
-		return out
+		return 0, 0
 	}
 	if f.stalled {
 		if now < f.stallUntil {
 			f.StallCycles++
-			return out
+			return 0, 0
 		}
 		f.stalled = false
 	}
 	if accept <= 0 {
 		f.BackendFull++
-		return out
+		return 0, 0
 	}
 	b := f.q.Head()
 	if b == nil {
 		f.IdleNoFTQ++
-		return out
+		return 0, 0
 	}
 	pc := b.NextFetchPC()
 	line := f.l1i.LineAddr(pc)
@@ -202,33 +208,37 @@ func (f *FetchEngine) Tick(now int64, accept int, buf []pipe.Uop) []pipe.Uop {
 		if f.notify != nil {
 			f.notify(line, false, false, now)
 		}
-		return out
+		return 0, 0
 	}
 
 	// Deliver instructions from this line, bounded by fetch width, block
-	// end, line end, and backend capacity.
-	for len(out) < f.width && len(out) < accept && !b.Done() {
+	// end, line end, and backend capacity. Each slot is written once by
+	// buildUop (it assigns every field, so the recycled slot needs no
+	// zeroing) and never copied again.
+	for n < f.width && n < accept && !b.Done() {
 		if f.l1i.LineAddr(pc) != line {
 			break
 		}
-		// Extend without zeroing where capacity allows: buildUop assigns
-		// every field, so stale slot contents never leak.
-		if len(out) < cap(out) {
-			out = out[:len(out)+1]
-		} else {
-			out = append(out, pipe.Uop{})
+		idx, u := f.ar.Alloc()
+		if n == 0 {
+			first = idx
 		}
-		if f.buildUop(pc, b, now, &out[len(out)-1]) {
-			return out[:len(out)-1]
+		if f.buildUop(pc, b, now, u) {
+			// Oracle stream ended mid-slot: roll the unfinished
+			// allocation back and stop (replay end — the head block
+			// stays put and Delivered excludes this cycle by design).
+			f.ar.FreeNewest(1)
+			return first, n
 		}
+		n++
 		b.FetchedInstrs++
 		pc = b.NextFetchPC()
 	}
 	if b.Done() {
 		f.q.PopHead()
 	}
-	f.Delivered += uint64(len(out) - len(buf))
-	return out
+	f.Delivered += uint64(n)
+	return first, n
 }
 
 // buildUop fills u, the dynamic record for the instruction at pc within

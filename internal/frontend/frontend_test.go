@@ -217,6 +217,7 @@ type fetchRig struct {
 	pfb  *cache.PrefetchBuffer
 	hier *memsys.Hierarchy
 	q    *ftq.Queue
+	ar   *pipe.Arena
 	bpu  *bpuRig
 	fe   *FetchEngine
 }
@@ -226,14 +227,37 @@ func newFetchRig(t testing.TB, im *program.Image, pred bpred.Predictor) *fetchRi
 	r.l1i = cache.New(cache.Config{SizeBytes: 2048, Ways: 2, LineBytes: 32, Repl: cache.LRU, TagPorts: 2})
 	r.pfb = cache.NewPrefetchBuffer(8, 32)
 	r.hier = memsys.New(memsys.Config{LineBytes: 32, L2SizeBytes: 1 << 16, L2Ways: 4, L2HitLatency: 6, MemLatency: 20, BusCyclesPerLine: 2})
+	r.ar = pipe.NewArena(64)
 	r.bpu = newBPURig(im.Entry, 8)
 	if pred != nil {
 		r.bpu.dir = pred
 		r.bpu.bpu = NewBPU(r.bpu.ftb, pred, r.bpu.ras, r.bpu.q, im.Entry, 8)
 	}
 	r.q = r.bpu.q
-	r.fe = NewFetchEngine(im, oracle.NewWalker(im, 3), r.q, r.l1i, r.pfb, r.hier, 4, nil)
+	r.fe = NewFetchEngine(im, oracle.NewWalker(im, 3), r.q, r.ar, r.l1i, r.pfb, r.hier, 4, nil)
 	return r
+}
+
+// drain copies out the delivered range and releases its arena slots — this
+// rig has no backend to commit (and thereby free) them.
+func (r *fetchRig) drain(first uint32, n int) []uopLite {
+	out := make([]uopLite, 0, n)
+	idx := first
+	for i := 0; i < n; i++ {
+		u := r.ar.At(idx)
+		out = append(out, uopLite{pc: u.PC, correct: u.OnCorrectPath, mis: u.Mispredicted})
+		idx = r.ar.Next(idx)
+	}
+	r.ar.FreeOldest(n)
+	return out
+}
+
+// tick runs one fetch cycle and returns the delivered count, releasing the
+// slots.
+func (r *fetchRig) tick(now int64, accept int) int {
+	first, n := r.fe.Tick(now, accept)
+	r.drain(first, n)
+	return n
 }
 
 // step advances BPU + completions + fetch one cycle, collecting uops.
@@ -245,13 +269,9 @@ func (r *fetchRig) step(now int64) []uopLite {
 			r.l1i.Fill(tr.Line, tr.Prefetch)
 		}
 	}
-	uops := r.fe.Tick(now, 16, nil)
+	first, n := r.fe.Tick(now, 16)
 	r.bpu.bpu.Tick(now)
-	out := make([]uopLite, 0, len(uops))
-	for _, u := range uops {
-		out = append(out, uopLite{pc: u.PC, correct: u.OnCorrectPath, mis: u.Mispredicted})
-	}
-	return out
+	return r.drain(first, n)
 }
 
 type uopLite struct {
@@ -297,9 +317,8 @@ func TestFetchStallsOnMissThenResumes(t *testing.T) {
 	rig := newFetchRig(t, im, nil)
 	rig.bpu.bpu.Tick(0) // prime FTQ
 
-	got := rig.fe.Tick(1, 16, nil)
-	if len(got) != 0 {
-		t.Fatalf("delivered %d uops through a cold cache", len(got))
+	if got := rig.tick(1, 16); got != 0 {
+		t.Fatalf("delivered %d uops through a cold cache", got)
 	}
 	if rig.fe.FullMisses != 1 {
 		t.Fatalf("FullMisses = %d", rig.fe.FullMisses)
@@ -322,8 +341,7 @@ func TestFetchPFBHitMovesLineToL1(t *testing.T) {
 	rig := newFetchRig(t, im, nil)
 	rig.pfb.Insert(0x1000)
 	rig.bpu.bpu.Tick(0)
-	uops := rig.fe.Tick(1, 16, nil)
-	if len(uops) == 0 {
+	if got := rig.tick(1, 16); got == 0 {
 		t.Fatal("PFB hit did not deliver")
 	}
 	if rig.fe.PFBHits != 1 {
@@ -378,23 +396,22 @@ func TestFetchBackendFullBackpressure(t *testing.T) {
 	rig := newFetchRig(t, im, nil)
 	rig.l1i.Fill(0x1000, false)
 	rig.bpu.bpu.Tick(0)
-	if got := rig.fe.Tick(1, 0, nil); len(got) != 0 {
-		t.Fatalf("delivered %d uops with zero accept", len(got))
+	if got := rig.tick(1, 0); got != 0 {
+		t.Fatalf("delivered %d uops with zero accept", got)
 	}
 	if rig.fe.BackendFull != 1 {
 		t.Errorf("BackendFull = %d", rig.fe.BackendFull)
 	}
 	// accept=2 limits the delivery burst.
-	got := rig.fe.Tick(2, 2, nil)
-	if len(got) > 2 {
-		t.Errorf("delivered %d uops with accept=2", len(got))
+	if got := rig.tick(2, 2); got > 2 {
+		t.Errorf("delivered %d uops with accept=2", got)
 	}
 }
 
 func TestFetchIdleWithoutFTQ(t *testing.T) {
 	im := loopImage(t)
 	rig := newFetchRig(t, im, nil)
-	rig.fe.Tick(0, 16, nil)
+	rig.tick(0, 16)
 	if rig.fe.IdleNoFTQ != 1 {
 		t.Errorf("IdleNoFTQ = %d", rig.fe.IdleNoFTQ)
 	}

@@ -15,6 +15,7 @@ type feRig struct {
 	l1i  *cache.Cache
 	pfb  *cache.PrefetchBuffer
 	hier *memsys.Hierarchy
+	ar   *pipe.Arena
 	fe   *FetchEngine
 }
 
@@ -29,8 +30,9 @@ func newFERig(t testing.TB, seed int64) *feRig {
 			LineBytes: 32, L2SizeBytes: 1 << 16, L2Ways: 4,
 			L2HitLatency: 8, MemLatency: 40, BusCyclesPerLine: 4,
 		}),
+		ar: pipe.NewArena(64),
 	}
-	r.fe = NewFetchEngine(im, oracle.NewWalker(im, seed), r.q, r.l1i, r.pfb, r.hier, 4, nil)
+	r.fe = NewFetchEngine(im, oracle.NewWalker(im, seed), r.q, r.ar, r.l1i, r.pfb, r.hier, 4, nil)
 	return r
 }
 
@@ -47,6 +49,7 @@ func (r *feRig) reset(t testing.TB, seed int64) {
 	r.ras.Reset()
 	r.q.Reset()
 	r.bpu.Reset(im.Entry)
+	r.ar.Reset()
 	r.fe.Reset(im, oracle.NewWalker(im, seed))
 }
 
@@ -55,13 +58,12 @@ func (r *feRig) reset(t testing.TB, seed int64) {
 // and records the delivered uop stream plus the front-end counters.
 func (r *feRig) feTrace(n int64) []uint64 {
 	var out []uint64
-	buf := make([]pipe.Uop, 0, 4)
 	fill := func(tr *memsys.Transfer) { r.l1i.Fill(tr.Line, tr.Prefetch) }
 	for now := int64(0); now < n; now++ {
 		r.hier.DrainCompleted(now, fill)
-		buf = r.fe.Tick(now, 8, buf[:0])
-		for i := range buf {
-			u := &buf[i]
+		first, cnt := r.fe.Tick(now, 8)
+		for i, idx := 0, first; i < cnt; i, idx = i+1, r.ar.Next(idx) {
+			u := r.ar.At(idx)
 			out = append(out, u.Seq, u.PC, u.PredNextPC)
 			if u.Mispredicted {
 				out = append(out, uint64(u.MissKind)+1)
@@ -77,6 +79,7 @@ func (r *feRig) feTrace(n int64) []uint64 {
 				break
 			}
 		}
+		r.ar.FreeOldest(cnt) // no backend in this rig: release every slot
 		r.bpu.Tick(now)
 	}
 	return append(out,

@@ -1,0 +1,277 @@
+package stats
+
+import "sort"
+
+// P2Quantile estimates a single quantile of a scalar stream in O(1) memory
+// using the P² algorithm (Jain & Chlamtac, CACM 1985): five markers track
+// the running minimum, the target quantile, the maximum, and the two
+// midpoints, adjusted toward their ideal positions with piecewise-parabolic
+// interpolation after every observation. It is the streaming companion to
+// Moments and implements the same mergeable-reducer shape — Add folds one
+// observation, Merge folds another accumulator — so dist summaries can carry
+// quantiles across sweep shards with fixed-size state.
+//
+// Exactness: with five or fewer observations the estimate is exact (the
+// samples are buffered until the markers initialise). Min and Max are exact
+// always, including across Merge. Beyond five observations the estimate is
+// the P² approximation, and Merge combines two approximations by
+// count-weighted inverse-CDF interpolation — deterministic, but approximate:
+// a sharded reduction is a close estimate of, not bit-identical to, the
+// sequential one (the pinning tests bound the error on small grids).
+//
+// Use NewP2Quantile; the zero value is not ready (it has no target quantile).
+type P2Quantile struct {
+	// P is the target quantile in (0, 1), fixed at construction.
+	P float64
+	// n counts observations. For n <= 5 the first samples sit in q[:n]
+	// unsorted; at n == 5 they are sorted in place and become the markers.
+	n int64
+	// q are the marker heights, pos their 1-based positions, want the
+	// ideal (fractional) positions, dwant the per-observation increments.
+	q     [5]float64
+	pos   [5]int64
+	want  [5]float64
+	dwant [5]float64
+}
+
+// NewP2Quantile builds an estimator for quantile p in (0, 1) — e.g. 0.5 for
+// the median, 0.9 for P90.
+func NewP2Quantile(p float64) *P2Quantile {
+	e := &P2Quantile{}
+	e.init(p)
+	return e
+}
+
+func (e *P2Quantile) init(p float64) {
+	if p <= 0 {
+		p = 0.5
+	}
+	if p >= 1 {
+		p = 0.5
+	}
+	*e = P2Quantile{P: p}
+	e.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+}
+
+// Count returns the number of observations folded so far.
+func (e *P2Quantile) Count() int64 { return e.n }
+
+// Min returns the exact minimum observed (0 when empty).
+func (e *P2Quantile) Min() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		m := e.q[0]
+		for _, v := range e.q[1:e.n] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	return e.q[0]
+}
+
+// Max returns the exact maximum observed (0 when empty).
+func (e *P2Quantile) Max() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		m := e.q[0]
+		for _, v := range e.q[1:e.n] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	return e.q[4]
+}
+
+// Add folds one observation.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = int64(i + 1)
+				e.want[i] = 1 + e.dwant[i]*4
+			}
+		}
+		return
+	}
+	// Locate x's cell and clamp the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	e.n++
+	for i := range e.want {
+		e.want[i] += e.dwant[i]
+	}
+	// Adjust the three interior markers toward their ideal positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - float64(e.pos[i])
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := int64(1)
+			if d < 0 {
+				s = -1
+			}
+			if h := e.parabolic(i, s); e.q[i-1] < h && h < e.q[i+1] {
+				e.q[i] = h
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by s (±1).
+func (e *P2Quantile) parabolic(i int, s int64) float64 {
+	d := float64(s)
+	np, nc, nn := float64(e.pos[i-1]), float64(e.pos[i]), float64(e.pos[i+1])
+	return e.q[i] + d/(nn-np)*((nc-np+d)*(e.q[i+1]-e.q[i])/(nn-nc)+(nn-nc-d)*(e.q[i]-e.q[i-1])/(nc-np))
+}
+
+// linear is the fallback height prediction when the parabola leaves the
+// bracketing heights.
+func (e *P2Quantile) linear(i int, s int64) float64 {
+	j := i + int(s)
+	return e.q[i] + float64(s)*(e.q[j]-e.q[i])/float64(e.pos[j]-e.pos[i])
+}
+
+// Quantile returns the current estimate of the target quantile: exact for
+// five or fewer observations, the P² marker height beyond.
+func (e *P2Quantile) Quantile() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		buf := make([]float64, e.n)
+		copy(buf, e.q[:e.n])
+		sort.Float64s(buf)
+		// Nearest-rank on the exact sample set.
+		r := int(e.P * float64(e.n))
+		if r > len(buf)-1 {
+			r = len(buf) - 1
+		}
+		return buf[r]
+	}
+	return e.q[2]
+}
+
+// invCDF evaluates the estimator's sketch as an inverse CDF at probability
+// p, interpolating linearly between markers (positions map to probabilities
+// (pos-1)/(n-1)). Requires n >= 5.
+func (e *P2Quantile) invCDF(p float64) float64 {
+	if e.n <= 1 {
+		return e.q[0]
+	}
+	d := float64(e.n - 1)
+	for i := 0; i < 4; i++ {
+		lo, hi := (float64(e.pos[i])-1)/d, (float64(e.pos[i+1])-1)/d
+		if p <= hi {
+			if hi == lo {
+				return e.q[i]
+			}
+			t := (p - lo) / (hi - lo)
+			return e.q[i] + t*(e.q[i+1]-e.q[i])
+		}
+	}
+	return e.q[4]
+}
+
+// Merge folds another accumulator's state into e, the P2Quantile leg of the
+// mergeable-reducer contract. A small side (fewer than five observations)
+// still holds raw samples, which are replayed exactly; two initialised
+// sketches combine by count-weighted inverse-CDF interpolation at e's
+// marker probabilities, with the min and max markers taken exactly. The
+// result is deterministic for a fixed merge order and tracks the sequential
+// estimate closely, but is not bit-identical to it.
+func (e *P2Quantile) Merge(o *P2Quantile) {
+	if o.n == 0 {
+		return
+	}
+	if e.n == 0 {
+		p := e.P
+		if p == 0 {
+			p = o.P
+		}
+		*e = *o
+		e.P = p
+		e.dwant = o.dwant
+		return
+	}
+	if o.n < 5 {
+		for _, x := range o.q[:o.n] {
+			e.Add(x)
+		}
+		return
+	}
+	if e.n < 5 {
+		buf, k := e.q, e.n
+		*e = *o
+		for _, x := range buf[:k] {
+			e.Add(x)
+		}
+		return
+	}
+	n := e.n + o.n
+	we, wo := float64(e.n)/float64(n), float64(o.n)/float64(n)
+	var q [5]float64
+	q[0] = min(e.q[0], o.q[0])
+	q[4] = max(e.q[4], o.q[4])
+	for i := 1; i <= 3; i++ {
+		p := e.dwant[i]
+		q[i] = we*e.invCDF(p) + wo*o.invCDF(p)
+	}
+	// Re-impose monotone marker heights (weighted mixing preserves order
+	// of the interior markers but the exact extremes can cross them).
+	for i := 1; i < 5; i++ {
+		if q[i] < q[i-1] {
+			q[i] = q[i-1]
+		}
+	}
+	e.q = q
+	e.n = n
+	for i := range e.pos {
+		ideal := 1 + e.dwant[i]*float64(n-1)
+		e.pos[i] = int64(ideal + 0.5)
+	}
+	// Positions must stay strictly ordered for the parabolic update.
+	e.pos[0] = 1
+	e.pos[4] = n
+	for i := 1; i < 5; i++ {
+		if e.pos[i] <= e.pos[i-1] {
+			e.pos[i] = e.pos[i-1] + 1
+		}
+	}
+	for i := 3; i >= 0; i-- {
+		if e.pos[i] >= e.pos[i+1] {
+			e.pos[i] = e.pos[i+1] - 1
+		}
+	}
+	for i := range e.want {
+		e.want[i] = 1 + e.dwant[i]*float64(n-1)
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank reference on a full sample set.
+func exactQuantile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	r := int(p * float64(len(s)))
+	if r > len(s)-1 {
+		r = len(s) - 1
+	}
+	return s[r]
+}
+
+func TestP2QuantileExactUnderFive(t *testing.T) {
+	for _, p := range []float64{0.5, 0.9} {
+		e := NewP2Quantile(p)
+		if got := e.Quantile(); got != 0 {
+			t.Fatalf("empty Quantile() = %v", got)
+		}
+		xs := []float64{7, 3, 11, 5}
+		for i, x := range xs {
+			e.Add(x)
+			want := exactQuantile(xs[:i+1], p)
+			if got := e.Quantile(); got != want {
+				t.Errorf("p=%v n=%d: Quantile() = %v, want exact %v", p, i+1, got, want)
+			}
+		}
+		if e.Min() != 3 || e.Max() != 11 {
+			t.Errorf("p=%v: min/max = %v/%v", p, e.Min(), e.Max())
+		}
+	}
+}
+
+// TestP2QuantilePinnedSmallGrids pins the estimator against exact quantiles
+// on small deterministic grids, where P² is provably close: for uniform
+// permutations of 1..n the median estimate must land within a small absolute
+// band of the true median.
+func TestP2QuantilePinnedSmallGrids(t *testing.T) {
+	for _, n := range []int{5, 9, 25, 101} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(i + 1)
+			}
+			rng.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+			e := NewP2Quantile(0.5)
+			for _, x := range xs {
+				e.Add(x)
+			}
+			want := exactQuantile(xs, 0.5)
+			if got := e.Quantile(); math.Abs(got-want) > 0.1*float64(n)+1 {
+				t.Errorf("n=%d seed=%d: median %v, exact %v", n, seed, got, want)
+			}
+			if e.Min() != 1 || e.Max() != float64(n) {
+				t.Errorf("n=%d: min/max %v/%v, want exact 1/%d", n, e.Min(), e.Max(), n)
+			}
+			if e.Count() != int64(n) {
+				t.Errorf("n=%d: Count = %d", n, e.Count())
+			}
+		}
+	}
+}
+
+// TestP2QuantileConvergesOnUniform checks asymptotic accuracy at both the
+// median and a tail quantile on a large pseudo-uniform stream.
+func TestP2QuantileConvergesOnUniform(t *testing.T) {
+	for _, p := range []float64{0.5, 0.9} {
+		e := NewP2Quantile(p)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 200_000; i++ {
+			e.Add(rng.Float64())
+		}
+		if got := e.Quantile(); math.Abs(got-p) > 0.01 {
+			t.Errorf("p=%v: estimate %v after 200k uniform samples", p, got)
+		}
+	}
+}
+
+// TestP2QuantileMergeSmallSidesExact pins the exact-replay merge legs: while
+// either side holds fewer than five raw samples, merging must equal folding
+// the concatenated stream.
+func TestP2QuantileMergeSmallSidesExact(t *testing.T) {
+	xs := []float64{9, 2, 14, 4, 6, 1, 12}
+	for cut := 0; cut <= 4; cut++ {
+		a, b, seq := NewP2Quantile(0.5), NewP2Quantile(0.5), NewP2Quantile(0.5)
+		for _, x := range xs[:cut] {
+			b.Add(x) // b is the small side
+		}
+		for _, x := range xs[cut:] {
+			a.Add(x)
+		}
+		for _, x := range append(append([]float64(nil), xs[cut:]...), xs[:cut]...) {
+			seq.Add(x)
+		}
+		a.Merge(b)
+		if a.Count() != seq.Count() {
+			t.Fatalf("cut=%d: Count %d vs %d", cut, a.Count(), seq.Count())
+		}
+		if got, want := a.Quantile(), seq.Quantile(); got != want {
+			t.Errorf("cut=%d: merged quantile %v, sequential %v", cut, got, want)
+		}
+	}
+	// Merging INTO a small receiver replays the receiver's samples onto the
+	// initialised side; result must match that exact fold too.
+	small, big := NewP2Quantile(0.5), NewP2Quantile(0.5)
+	for _, x := range xs[:3] {
+		small.Add(x)
+	}
+	for _, x := range xs[3:] {
+		big.Add(x)
+	}
+	ref := NewP2Quantile(0.5)
+	for _, x := range xs[3:] {
+		ref.Add(x)
+	}
+	for _, x := range xs[:3] {
+		ref.Add(x)
+	}
+	small.Merge(big)
+	if small.Quantile() != ref.Quantile() || small.Count() != ref.Count() {
+		t.Errorf("small receiver merge: %v/%d, want %v/%d",
+			small.Quantile(), small.Count(), ref.Quantile(), ref.Count())
+	}
+}
+
+// TestP2QuantileMergeApproximatesSequential bounds the sketch-combination
+// merge: sharded accumulation over a uniform stream must land near both the
+// sequential estimate and the true quantile, with exact min/max and count.
+func TestP2QuantileMergeApproximatesSequential(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		rng := rand.New(rand.NewSource(7))
+		seq := NewP2Quantile(0.5)
+		parts := make([]*P2Quantile, shards)
+		for i := range parts {
+			parts[i] = NewP2Quantile(0.5)
+		}
+		const total = 40_000
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < total; i++ {
+			x := rng.Float64()
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+			seq.Add(x)
+			parts[i%shards].Add(x)
+		}
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			merged.Merge(p)
+		}
+		if merged.Count() != total {
+			t.Fatalf("shards=%d: Count %d", shards, merged.Count())
+		}
+		if merged.Min() != lo || merged.Max() != hi {
+			t.Errorf("shards=%d: min/max %v/%v, want exact %v/%v", shards, merged.Min(), merged.Max(), lo, hi)
+		}
+		if math.Abs(merged.Quantile()-0.5) > 0.02 {
+			t.Errorf("shards=%d: merged median %v, want ~0.5", shards, merged.Quantile())
+		}
+		if math.Abs(merged.Quantile()-seq.Quantile()) > 0.02 {
+			t.Errorf("shards=%d: merged %v vs sequential %v", shards, merged.Quantile(), seq.Quantile())
+		}
+	}
+}
+
+// TestP2QuantileMergeThenAdd verifies the merged state remains a live
+// accumulator: positions stay strictly ordered so further Adds are safe and
+// keep tracking the stream.
+func TestP2QuantileMergeThenAdd(t *testing.T) {
+	a, b := NewP2Quantile(0.9), NewP2Quantile(0.9)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a.Add(rng.Float64())
+		b.Add(rng.Float64())
+	}
+	a.Merge(b)
+	for i := 0; i < 10_000; i++ {
+		a.Add(rng.Float64())
+	}
+	if got := a.Quantile(); math.Abs(got-0.9) > 0.03 {
+		t.Errorf("post-merge accumulation drifted: P90 = %v", got)
+	}
+	if a.Count() != 12_000 {
+		t.Errorf("Count = %d", a.Count())
+	}
+}
