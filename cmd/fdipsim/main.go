@@ -28,7 +28,7 @@ func main() {
 		instrs     = flag.Uint64("instrs", 1_000_000, "instructions to simulate")
 		l1iBytes   = flag.Int("l1i", 16*1024, "L1-I size in bytes")
 		ftqEntries = flag.Int("ftq", 32, "FTQ entries")
-		pfKind     = flag.String("prefetcher", "none", "none|nextline|streambuf|fdp")
+		pfKind     = flag.String("prefetcher", "none", "none|nextline|streambuf|fdp|mana|shadow")
 		cpf        = flag.String("cpf", "off", "FDP cache-probe filtering: off|conservative|optimistic")
 		removeCPF  = flag.Bool("remove-cpf", false, "FDP remove-side filtering")
 		ftbSets    = flag.Int("ftb-sets", 512, "FTB sets")

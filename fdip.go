@@ -6,6 +6,9 @@
 // target queue + fetch engine) over synthetic but behaviourally calibrated
 // program images, with fetch-directed prefetching, cache-probe filtering,
 // and the paper's baselines (tagged next-line prefetching, stream buffers).
+// Two engines from the paper's successors ride alongside: MANA-style
+// spatial-region prefetching (PrefetchMANA) and shadow-branch decoding that
+// prefills the FTB ahead of the predictor (PrefetchShadow).
 //
 // The primary surface is the v3 Plan/Stream pair over the concurrent
 // Engine: a context-aware, worker-pooled, memoising executor. A Plan
@@ -101,6 +104,10 @@ type (
 	FDPConfig = prefetch.FDPConfig
 	// CPFMode selects the cache-probe-filtering policy.
 	CPFMode = prefetch.CPFMode
+	// MANAConfig tunes MANA-style spatial-region prefetching.
+	MANAConfig = prefetch.MANAConfig
+	// ShadowConfig tunes the shadow-branch decoder.
+	ShadowConfig = prefetch.ShadowConfig
 	// ProgramParams control synthetic program generation.
 	ProgramParams = program.Params
 	// Image is a generated static program.
@@ -267,6 +274,8 @@ const (
 	PrefetchNextLine = core.PrefetchNextLine
 	PrefetchStream   = core.PrefetchStream
 	PrefetchFDP      = core.PrefetchFDP
+	PrefetchMANA     = core.PrefetchMANA
+	PrefetchShadow   = core.PrefetchShadow
 )
 
 // Cache-probe-filtering modes.
@@ -390,4 +399,4 @@ func ReplayTrace(r io.Reader, cfg Config) (Result, error) {
 }
 
 // Version identifies the library release.
-const Version = "3.1.0"
+const Version = "3.2.0"

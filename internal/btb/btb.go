@@ -268,6 +268,22 @@ func (t *TargetBuffer) PredictBlock(pc uint64) (Pred, bool) {
 	return Pred{}, false
 }
 
+// Peek reports whether an entry for pc is resident without perturbing
+// predictor state: no probe counters, no LRU refresh, no memo traffic. The
+// shadow-branch prefetcher uses it to skip prefilling blocks the buffer
+// already knows, and statistics must stay bit-identical whether or not it
+// runs.
+func (t *TargetBuffer) Peek(pc uint64) bool {
+	si, tag := t.setAndTag(pc)
+	set := t.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
 // TrainBlock records a resolved fetch block: start address, length in
 // instructions (the CTI is the last one), the CTI kind, and its taken
 // target (the fall-through is never stored).

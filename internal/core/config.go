@@ -29,6 +29,16 @@ const (
 	PrefetchFDP PrefetcherKind = "fdp"
 )
 
+// The modern engines from the paper's successors (ROADMAP item 3).
+const (
+	// PrefetchMANA is MANA-style spatial-region prefetching with a
+	// metadata-budget knob (arXiv:2102.01764).
+	PrefetchMANA PrefetcherKind = "mana"
+	// PrefetchShadow is shadow-branch decoding of fetched lines that
+	// prefills the FTB ahead of the BPU (arXiv:2408.12592).
+	PrefetchShadow PrefetcherKind = "shadow"
+)
+
 // PrefetchConfig selects and tunes the prefetch engine.
 type PrefetchConfig struct {
 	// Kind picks the scheme.
@@ -39,6 +49,10 @@ type PrefetchConfig struct {
 	NextLinePending int
 	// Streams and StreamDepth size the stream-buffer prefetcher.
 	Streams, StreamDepth int
+	// MANA configures spatial-region prefetching (Kind == PrefetchMANA).
+	MANA prefetch.MANAConfig
+	// Shadow configures the shadow-branch decoder (Kind == PrefetchShadow).
+	Shadow prefetch.ShadowConfig
 }
 
 // Config is the full machine description.
@@ -102,8 +116,16 @@ func DefaultConfig() Config {
 		FetchWidth:            4,
 		RedirectLatency:       2,
 		Backend:               backend.DefaultConfig(),
-		Prefetch:              PrefetchConfig{Kind: PrefetchNone, FDP: prefetch.DefaultFDPConfig(), NextLinePending: 4, Streams: 4, StreamDepth: 4},
-		MaxInstrs:             1_000_000,
+		Prefetch: PrefetchConfig{
+			Kind:            PrefetchNone,
+			FDP:             prefetch.DefaultFDPConfig(),
+			NextLinePending: 4,
+			Streams:         4,
+			StreamDepth:     4,
+			MANA:            prefetch.DefaultMANAConfig(),
+			Shadow:          prefetch.DefaultShadowConfig(),
+		},
+		MaxInstrs: 1_000_000,
 	}
 }
 
@@ -153,7 +175,7 @@ func (c *Config) Validate() error {
 	switch c.Prefetch.Kind {
 	case "", PrefetchNone:
 		c.Prefetch.Kind = PrefetchNone
-	case PrefetchNextLine, PrefetchStream, PrefetchFDP:
+	case PrefetchNextLine, PrefetchStream, PrefetchFDP, PrefetchMANA, PrefetchShadow:
 	default:
 		return fmt.Errorf("core: unknown prefetcher %q", c.Prefetch.Kind)
 	}

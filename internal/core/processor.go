@@ -93,7 +93,13 @@ func New(cfg Config, im *program.Image, stream oracle.Stream) (*Processor, error
 	p.be = backend.New(cfg.Backend)
 	p.be.OnCommit = p.onCommit
 
-	env := prefetch.Env{L1I: p.l1i, PFB: p.pfb, Hier: p.hier, FTQ: p.q, LineBytes: cfg.LineBytes}
+	env := prefetch.Env{
+		L1I: p.l1i, PFB: p.pfb, Hier: p.hier, FTQ: p.q, FTB: p.ftb,
+		// An indirection, not p.im itself: Reset swaps the image under a
+		// pooled machine and the engine must follow.
+		Image:     func() *program.Image { return p.im },
+		LineBytes: cfg.LineBytes,
+	}
 	switch cfg.Prefetch.Kind {
 	case PrefetchNone:
 		p.pf = prefetch.NewNone()
@@ -103,6 +109,10 @@ func New(cfg Config, im *program.Image, stream oracle.Stream) (*Processor, error
 		p.pf = prefetch.NewStreamBuffers(env, cfg.Prefetch.Streams, cfg.Prefetch.StreamDepth)
 	case PrefetchFDP:
 		p.pf = prefetch.NewFDP(env, cfg.Prefetch.FDP)
+	case PrefetchMANA:
+		p.pf = prefetch.NewMANA(env, cfg.Prefetch.MANA)
+	case PrefetchShadow:
+		p.pf = prefetch.NewShadow(env, cfg.Prefetch.Shadow)
 	}
 
 	// The fetch engine writes each uop once, directly into the backend's
@@ -412,6 +422,21 @@ func (p *Processor) Run() Result {
 		panic(err.Error())
 	}
 	return res
+}
+
+// RunNaive executes the run with strict per-cycle stepping — no idle
+// skipping, no BPU bursts. It is the reference semantics of the
+// event-scheduled kernel: RunContext must produce a bit-identical Result
+// from the same initial state. Exposed for the differential and fuzzing
+// harnesses; sweeps should use Run or RunContext, which are much faster.
+func (p *Processor) RunNaive() Result {
+	for p.be.Committed < p.cfg.MaxInstrs && p.now < p.cfg.MaxCycles {
+		if p.fe.Exhausted() && p.be.Drained() {
+			break
+		}
+		p.Step()
+	}
+	return p.Finalize()
 }
 
 // ctxPollCycles is the simulated-cycle cadence of cooperative-cancellation

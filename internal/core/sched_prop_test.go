@@ -14,7 +14,7 @@ import (
 func randSchedConfig(rng *rand.Rand) Config {
 	cfg := DefaultConfig()
 	cfg.MaxInstrs = 8_000
-	switch rng.Intn(4) {
+	switch rng.Intn(6) {
 	case 0: // none
 	case 1:
 		cfg.Prefetch.Kind = PrefetchNextLine
@@ -28,6 +28,16 @@ func randSchedConfig(rng *rand.Rand) Config {
 		cfg.Prefetch.FDP.PIQSize = 2 + rng.Intn(15)
 		cfg.Prefetch.FDP.CPF = prefetch.CPFMode(rng.Intn(3))
 		cfg.Prefetch.FDP.RemoveCPF = rng.Intn(4) == 0
+	case 4:
+		cfg.Prefetch.Kind = PrefetchMANA
+		cfg.Prefetch.MANA.BudgetBytes = []int{128, 1024, 4096}[rng.Intn(3)]
+		cfg.Prefetch.MANA.RegionLines = 2 + rng.Intn(31)
+		cfg.Prefetch.MANA.QueueSize = 1 + rng.Intn(16)
+	case 5:
+		cfg.Prefetch.Kind = PrefetchShadow
+		cfg.Prefetch.Shadow.DecodeQueue = 1 + rng.Intn(8)
+		cfg.Prefetch.Shadow.TargetQueue = 1 + rng.Intn(8)
+		cfg.Prefetch.Shadow.PrefetchTargets = rng.Intn(4) != 0
 	}
 	if rng.Intn(8) == 0 {
 		cfg.PerfectL1I = true

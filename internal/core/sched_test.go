@@ -12,15 +12,7 @@ import (
 // runNaive drives a processor with the pre-scheduler per-cycle loop: Step
 // every cycle, no idle skipping. It is the reference semantics the
 // event-scheduled kernel must reproduce bit-identically.
-func runNaive(p *Processor) Result {
-	for p.be.Committed < p.cfg.MaxInstrs && p.now < p.cfg.MaxCycles {
-		if p.fe.Exhausted() && p.be.Drained() {
-			break
-		}
-		p.Step()
-	}
-	return p.Finalize()
-}
+func runNaive(p *Processor) Result { return p.RunNaive() }
 
 // schedConfigs covers every prefetcher (each has its own NextEvent logic)
 // plus the perfect-L1I fetch path and a saturating stream machine.
@@ -70,6 +62,37 @@ func schedConfigs() map[string]Config {
 		"fdp-cpf-slow-mem": mk(func(c *Config) {
 			c.Prefetch.Kind = PrefetchFDP
 			c.Prefetch.FDP.CPF = prefetch.CPFConservative
+			c.Mem.MemLatency = 300
+			c.MaxInstrs = 30_000
+		}),
+		// The modern engines, each with a default machine and the two
+		// corners that stress their NextEvent/OnSkip accounting: a tiny
+		// replay/target queue (heads defer and drop constantly) and slow
+		// memory (long skippable stretches with work pending).
+		"mana": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchMANA
+		}),
+		"mana-tiny-queue": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchMANA
+			c.Prefetch.MANA.QueueSize = 2
+			c.Prefetch.MANA.BudgetBytes = 256
+		}),
+		"mana-slow-mem": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchMANA
+			c.Prefetch.MANA.RegionLines = 16
+			c.Mem.MemLatency = 300
+			c.MaxInstrs = 30_000
+		}),
+		"shadow": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchShadow
+		}),
+		"shadow-tiny-queue": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchShadow
+			c.Prefetch.Shadow.DecodeQueue = 1
+			c.Prefetch.Shadow.TargetQueue = 2
+		}),
+		"shadow-slow-mem": mk(func(c *Config) {
+			c.Prefetch.Kind = PrefetchShadow
 			c.Mem.MemLatency = 300
 			c.MaxInstrs = 30_000
 		}),

@@ -1,0 +1,7 @@
+package engine
+
+// RaceEnabled re-exports raceEnabled to the external test package
+// (engine_test), which exists so tests may import simtest — simtest's fuzz
+// harness imports this package, and an internal test doing the same would be
+// an import cycle.
+const RaceEnabled = raceEnabled

@@ -1,4 +1,4 @@
-package engine
+package engine_test
 
 import (
 	"context"
@@ -8,23 +8,24 @@ import (
 	"testing"
 
 	"fdip/internal/core"
+	"fdip/internal/engine"
 	"fdip/internal/simtest"
 )
 
 // poolGrid builds a job mix that forces heavy machine reuse: few distinct
 // configurations, many (workload, seed) points each.
-func poolGrid(instrs uint64) []Job {
+func poolGrid(instrs uint64) []engine.Job {
 	base := core.DefaultConfig()
 	base.MaxInstrs = instrs
 	fdp := base
 	fdp.Prefetch.Kind = core.PrefetchFDP
 	nl := base
 	nl.Prefetch.Kind = core.PrefetchNextLine
-	var jobs []Job
+	var jobs []engine.Job
 	for _, cfg := range []core.Config{base, fdp, nl} {
 		for _, wl := range []string{"gcc", "perl"} {
 			for seed := int64(1); seed <= 3; seed++ {
-				jobs = append(jobs, Job{Config: cfg, Workload: wl, Seed: seed})
+				jobs = append(jobs, engine.Job{Config: cfg, Workload: wl, Seed: seed})
 			}
 		}
 	}
@@ -35,15 +36,15 @@ func poolGrid(instrs uint64) []Job {
 // harness: results served through the engine's machine pool must be
 // DeepEqual to a machine constructed from scratch for the same triple.
 func TestEnginePooledResetMatchesFresh(t *testing.T) {
-	e := New(WithWorkers(2))
+	e := engine.New(engine.WithWorkers(2))
 	ctx := context.Background()
 	for _, tr := range simtest.Grid() {
 		// Dirty the pool first with a different point of the same config.
 		dirty := simtest.DirtyVariant(tr)
-		if _, err := e.Run(ctx, Job{Config: dirty.Config, Workload: dirty.Workload, Seed: dirty.Seed}); err != nil {
+		if _, err := e.Run(ctx, engine.Job{Config: dirty.Config, Workload: dirty.Workload, Seed: dirty.Seed}); err != nil {
 			t.Fatalf("%s dirty: %v", tr.Name, err)
 		}
-		got, err := e.Run(ctx, Job{Config: tr.Config, Workload: tr.Workload, Seed: tr.Seed})
+		got, err := e.Run(ctx, engine.Job{Config: tr.Config, Workload: tr.Workload, Seed: tr.Seed})
 		if err != nil {
 			t.Fatalf("%s: %v", tr.Name, err)
 		}
@@ -53,7 +54,7 @@ func TestEnginePooledResetMatchesFresh(t *testing.T) {
 	}
 	// Under -race, sync.Pool drops Puts at random by design, so reuse is
 	// not guaranteed there (the non-race CI steps enforce it).
-	if st := e.Stats(); st.MachinesReused == 0 && !raceEnabled {
+	if st := e.Stats(); st.MachinesReused == 0 && !engine.RaceEnabled {
 		t.Errorf("pool never reused a machine (built %d, reused %d); the differential ran against fresh machines only", st.MachinesBuilt, st.MachinesReused)
 	}
 }
@@ -66,11 +67,11 @@ func TestEnginePooledResetMatchesFresh(t *testing.T) {
 func TestSweepPooledBitIdenticalAcrossWorkers(t *testing.T) {
 	jobs := poolGrid(20_000)
 	ctx := context.Background()
-	ref, err := New(WithWorkers(1)).Sweep(ctx, jobs)
+	ref, err := engine.New(engine.WithWorkers(1)).Sweep(ctx, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e8 := New(WithWorkers(8))
+	e8 := engine.New(engine.WithWorkers(8))
 	outs, err := e8.Sweep(ctx, jobs)
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +89,7 @@ func TestSweepPooledBitIdenticalAcrossWorkers(t *testing.T) {
 	// machine. Concurrency makes a few extra builds legitimate (workers can
 	// miss the pool simultaneously), and -race drops Puts at random, so the
 	// guard is reuse-happened rather than an exact build count.
-	if st.MachinesReused == 0 && !raceEnabled {
+	if st.MachinesReused == 0 && !engine.RaceEnabled {
 		t.Errorf("built %d machines for %d simulations with zero reuse; pool is not recycling", st.MachinesBuilt, st.Simulations)
 	}
 	if st.MachinesBuilt+st.MachinesReused != st.Simulations {
@@ -114,13 +115,13 @@ func TestStreamRecyclingSurvivesGC(t *testing.T) {
 	cfgs := []core.Config{base, fdp, nl}
 	// Round-robin order — config varies fastest — exactly the streamed
 	// interleaving that defeated the bare sync.Pool.
-	var jobs []Job
+	var jobs []engine.Job
 	for seed := int64(1); seed <= 6; seed++ {
 		for _, cfg := range cfgs {
-			jobs = append(jobs, Job{Config: cfg, Workload: "gcc", Seed: seed})
+			jobs = append(jobs, engine.Job{Config: cfg, Workload: "gcc", Seed: seed})
 		}
 	}
-	e := New(WithWorkers(1), WithInstrBudget(5_000))
+	e := engine.New(engine.WithWorkers(1), engine.WithInstrBudget(5_000))
 	for out, err := range e.StreamJobs(context.Background(), jobs) {
 		if err != nil || out.Err != nil {
 			t.Fatalf("stream: %v / %v", err, out.Err)
@@ -143,17 +144,17 @@ func TestStreamRecyclingSurvivesGC(t *testing.T) {
 // magnitude below the ~9MB machine build. CI runs this test in the
 // allocation-regression gate.
 func TestSweepSteadyStateZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if engine.RaceEnabled {
 		t.Skip("sync.Pool drops Puts at random under -race; the allocation gate runs in the non-race CI step")
 	}
-	e := New(WithWorkers(1))
+	e := engine.New(engine.WithWorkers(1))
 	cfg := core.DefaultConfig()
 	cfg.MaxInstrs = 2_000
 	cfg.Prefetch.Kind = core.PrefetchFDP
 	ctx := context.Background()
 
 	// Warm-up: build the one machine and generate the image.
-	if _, err := e.Run(ctx, Job{Config: cfg, Workload: "gcc", Seed: 1}); err != nil {
+	if _, err := e.Run(ctx, engine.Job{Config: cfg, Workload: "gcc", Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -165,7 +166,7 @@ func TestSweepSteadyStateZeroAlloc(t *testing.T) {
 	var runErr error
 	avg := testing.AllocsPerRun(10, func() {
 		seed++ // a fresh memo key every run: each run truly simulates
-		if _, err := e.Run(ctx, Job{Config: cfg, Workload: "gcc", Seed: seed}); err != nil {
+		if _, err := e.Run(ctx, engine.Job{Config: cfg, Workload: "gcc", Seed: seed}); err != nil {
 			runErr = err
 		}
 	})

@@ -125,9 +125,10 @@ func Extensions() []Experiment {
 	}
 }
 
-// ExtendedSuite returns the reconstructed suite plus the extensions.
+// ExtendedSuite returns the reconstructed suite plus the extensions and the
+// FDIP-revisited experiments.
 func ExtendedSuite() []Experiment {
-	return append(Suite(), Extensions()...)
+	return append(append(Suite(), Extensions()...), Revisited()...)
 }
 
 // AllWithExtensions runs the reconstructed suite plus the extensions in

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"fdip/internal/core"
+	"fdip/internal/engine"
+	"fdip/internal/prefetch"
+	"fdip/internal/stats"
+)
+
+// This file holds the FDIP-revisited experiments (E17..E19): the modern
+// prefetch engines (MANA spatial regions, shadow-branch FTB prefill) against
+// the 1999 schemes, re-run over the axes the revisited evaluation
+// (arXiv:2006.13547) argues decide FDIP's fate on modern front ends — FTQ
+// depth, prefetch-queue depth, and L1-I size. Same Plan + reducer machinery
+// as the rest of the suite.
+
+// revisitedKinds is the engine axis the revisited tables sweep: the paper's
+// strongest 1999 scheme plus the two modern engines. FDP carries its
+// conservative cache-probe filter, as everywhere else in the suite.
+var revisitedKinds = []core.PrefetcherKind{core.PrefetchFDP, core.PrefetchMANA, core.PrefetchShadow}
+
+var revisitedNames = []string{"fdp+cpf", "mana", "shadow"}
+
+// engineConfig returns the default machine running the given prefetch engine
+// at the given L1-I size.
+func engineConfig(kind core.PrefetcherKind, l1iBytes int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.L1ISizeBytes = l1iBytes
+	cfg.Prefetch.Kind = kind
+	if kind == core.PrefetchFDP {
+		cfg.Prefetch.FDP.CPF = prefetch.CPFConservative
+	}
+	return cfg
+}
+
+// setEngine is the Vary mutation form of engineConfig, for axes that perturb
+// an already-swept machine.
+func setEngine(c *core.Config, kind core.PrefetcherKind) {
+	c.Prefetch.Kind = kind
+	if kind == core.PrefetchFDP {
+		c.Prefetch.FDP.CPF = prefetch.CPFConservative
+	}
+}
+
+// E17ModernHeadline is the headline comparison extended to the modern
+// engines: % speedup over no-prefetch at 16KB for the 1999 schemes next to
+// MANA and the shadow-branch decoder, gmean footer over the benchmarks.
+func E17ModernHeadline(ctx context.Context, r *Runner) (*stats.Table, error) {
+	names := []string{"nextline", "streambuf", "fdp+cpf", "mana", "shadow"}
+	points := make([]engine.NamedConfig, len(names))
+	for i, kind := range []core.PrefetcherKind{
+		core.PrefetchNextLine, core.PrefetchStream,
+		core.PrefetchFDP, core.PrefetchMANA, core.PrefetchShadow,
+	} {
+		points[i] = engine.Named(names[i], engineConfig(kind, 16*1024))
+	}
+	c, err := r.Collect(ctx, plan(r.opts.Workloads, core.DefaultConfig()).
+		Axes(engine.Configs(points...).WithBaseline("base", baselineConfig(16*1024))))
+	if err != nil {
+		return nil, err
+	}
+	t := c.TableVsBaseline("E17 (revisited): % speedup over no-prefetch, old vs modern engines, 16KB L1-I",
+		"bench", names, 0, speedupCell)
+	footer := []interface{}{"gmean"}
+	for _, g := range c.ReduceCols(0, core.Result.SpeedupPctOver, stats.GmeanSpeedupPct) {
+		footer = append(footer, fmt.Sprintf("%+.1f%%", g))
+	}
+	t.AddRow(footer...)
+	return t, nil
+}
+
+// E18RevisitedCross crosses FTQ depth with L1-I size and runs every engine
+// at each corner, each corner holding its own no-prefetch baseline — the
+// revisited paper's central claim is that this cross, not any single point,
+// decides whether fetch-directed prefetching still pays off. Long form: one
+// row per (workload, corner, engine).
+func E18RevisitedCross(ctx context.Context, r *Runner) (*stats.Table, error) {
+	type corner struct {
+		ftq int
+		l1i int
+	}
+	corners := []corner{{4, 8 * 1024}, {4, 32 * 1024}, {32, 8 * 1024}, {32, 32 * 1024}}
+	labels := make([]string, len(corners))
+	for i, cr := range corners {
+		labels[i] = fmt.Sprintf("ftq%d/%dKB", cr.ftq, cr.l1i/1024)
+	}
+	cornerAxis := engine.Vary("", corners, func(c *core.Config, cr corner) {
+		c.FTQEntries = cr.ftq
+		c.L1ISizeBytes = cr.l1i
+	}).Labeled(labels...)
+	engineAxis := engine.Vary("", append([]core.PrefetcherKind{core.PrefetchNone}, revisitedKinds...),
+		setEngine).Labeled(append([]string{"none"}, revisitedNames...)...)
+
+	// Columns enumerate corner-major with the engine axis fastest, so each
+	// corner's four engine points are consecutive and its "none" point leads.
+	c, err := r.Collect(ctx, plan(r.suiteLarge(), core.DefaultConfig()).
+		Axes(cornerAxis, engineAxis))
+	if err != nil {
+		return nil, err
+	}
+	stride := 1 + len(revisitedKinds)
+	t := stats.NewTable("E18 (revisited): FTQ depth x L1-I size cross, per-corner baselines",
+		"bench", "corner", "engine", "speedup", "miss/KI", "bus%")
+	for row := 0; row < c.NumRows(); row++ {
+		for ci := range corners {
+			base := c.At(row, ci*stride)
+			for e := 1; e < stride; e++ {
+				res := c.At(row, ci*stride+e)
+				t.AddRow(c.RowLabel(row), labels[ci], revisitedNames[e-1],
+					speedupCell(res, base), res.MissPKI, res.BusUtilPct)
+			}
+		}
+	}
+	return t, nil
+}
+
+// E19QueueDepthSweep sweeps the prefetch-queue depth — the PIQ for FDP, the
+// replay queue for MANA, the target queue for the shadow decoder — against
+// the shared 16KB baseline. The revisited argument in one knob: deeper
+// queues only pay while the engine can stay ahead of fetch.
+func E19QueueDepthSweep(ctx context.Context, r *Runner) (*stats.Table, error) {
+	depths := []int{1, 2, 4, 8, 16, 32}
+	depthAxis := engine.Vary("depth", depths, func(c *core.Config, d int) {
+		c.Prefetch.FDP.PIQSize = d
+		c.Prefetch.MANA.QueueSize = d
+		c.Prefetch.Shadow.TargetQueue = d
+	})
+	engineAxis := engine.Vary("", revisitedKinds, setEngine).Labeled(revisitedNames...)
+	c, err := r.Collect(ctx, plan(r.suiteLarge(), core.DefaultConfig()).
+		Axes(engineAxis, depthAxis))
+	if err != nil {
+		return nil, err
+	}
+	base, err := r.Collect(ctx, plan(r.suiteLarge(), baselineConfig(16*1024)))
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("E19 (revisited): speedup vs prefetch-queue depth (PIQ / MANA replay / shadow targets), 16KB L1-I",
+		append([]string{"bench", "engine"}, intHeaders(depths)...)...)
+	for row := 0; row < c.NumRows(); row++ {
+		for e := range revisitedKinds {
+			out := []any{c.RowLabel(row), revisitedNames[e]}
+			for d := range depths {
+				out = append(out, speedupCell(c.At(row, e*len(depths)+d), base.At(row, 0)))
+			}
+			t.AddRow(out...)
+		}
+	}
+	return t, nil
+}
+
+// Revisited returns the FDIP-revisited experiments (E17..E19) in order.
+func Revisited() []Experiment {
+	return []Experiment{
+		{"E17", E17ModernHeadline},
+		{"E18", E18RevisitedCross},
+		{"E19", E19QueueDepthSweep},
+	}
+}

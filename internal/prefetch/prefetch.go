@@ -13,9 +13,11 @@ package prefetch
 import (
 	"math"
 
+	"fdip/internal/btb"
 	"fdip/internal/cache"
 	"fdip/internal/ftq"
 	"fdip/internal/memsys"
+	"fdip/internal/program"
 )
 
 // Env wires a prefetcher to the structures it observes and drives.
@@ -28,6 +30,14 @@ type Env struct {
 	Hier *memsys.Hierarchy
 	// FTQ is the fetch target queue (used by fetch-directed prefetching).
 	FTQ *ftq.Queue
+	// FTB is the front end's target buffer, prefilled by the shadow-branch
+	// engine. Nil for engines that never touch predictor state.
+	FTB *btb.TargetBuffer
+	// Image returns the current program image — the ground-truth decode
+	// source for engines that decode fetched line bytes. A closure rather
+	// than a pointer because Processor.Reset swaps images under a pooled
+	// machine.
+	Image func() *program.Image
 	// LineBytes is the cache line size.
 	LineBytes int
 }

@@ -440,6 +440,19 @@ func TestPushInert(t *testing.T) {
 	if !NewStreamBuffers(env, 2, 4).PushInert() {
 		t.Error("streambuf not push-inert")
 	}
+	if !NewMANA(env, MANAConfig{}).PushInert() {
+		t.Error("mana not push-inert")
+	}
+	if !NewShadow(testModernEnv(), ShadowConfig{}).PushInert() {
+		t.Error("shadow not push-inert")
+	}
+	// Shadow stays push-inert even mid-decode: its work comes from arriving
+	// lines, and NextEvent pins decode cycles to "now" anyway.
+	sh := NewShadow(testModernEnv(), ShadowConfig{})
+	sh.OnDemandAccess(0, false, false, 0)
+	if !sh.PushInert() {
+		t.Error("shadow with queued decode work not push-inert")
+	}
 
 	f := NewFDP(env, FDPConfig{PIQSize: 2, SkipHead: 1})
 	if f.PushInert() {

@@ -62,7 +62,13 @@ func pfTrace(env Env, p Prefetcher, seed int64) []uint64 {
 		}
 	}
 	st := p.IssueStats()
-	return append(out, st.Issued, st.DroppedPresent, st.DroppedInflight, st.DeferredBusBusy)
+	out = append(out, st.Issued, st.DroppedPresent, st.DroppedInflight, st.DeferredBusBusy)
+	if env.FTB != nil {
+		// The shadow decoder's observable side effect is FTB state.
+		out = append(out, env.FTB.Lookups, env.FTB.Hits, env.FTB.Inserts,
+			env.FTB.Updates, env.FTB.Evictions)
+	}
+	return out
 }
 
 // resetAll resets the prefetcher and its whole environment, as the owning
@@ -72,6 +78,9 @@ func resetAll(env Env, p Prefetcher) {
 	env.PFB.Reset()
 	env.Hier.Reset()
 	env.FTQ.Reset()
+	if env.FTB != nil {
+		env.FTB.Reset()
+	}
 	p.Reset()
 }
 
@@ -97,6 +106,14 @@ func TestPrefetcherResetEqualsFresh(t *testing.T) {
 		{"fdp+cpf-optimistic+remove", func() (Env, Prefetcher) {
 			env := testEnv()
 			return env, NewFDP(env, FDPConfig{PIQSize: 8, SkipHead: 1, CPF: CPFOptimistic, RemoveCPF: true})
+		}},
+		{"mana", func() (Env, Prefetcher) {
+			env := testEnv()
+			return env, NewMANA(env, MANAConfig{BudgetBytes: 512, RegionLines: 8, QueueSize: 4})
+		}},
+		{"shadow", func() (Env, Prefetcher) {
+			env := testModernEnv()
+			return env, NewShadow(env, ShadowConfig{DecodeQueue: 2, TargetQueue: 4, PrefetchTargets: true})
 		}},
 	}
 	for _, tc := range cases {

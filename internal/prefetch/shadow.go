@@ -1,0 +1,236 @@
+package prefetch
+
+import (
+	"math"
+
+	"fdip/internal/isa"
+)
+
+// Shadow is a shadow-branch decoder in the style of arXiv:2408.12592: every
+// line the fetch engine brings toward the L1-I carries instruction bytes the
+// front end has not decoded yet, and among them sit branches the BPU has
+// never predicted. The engine queues newly-arriving lines, decodes them off
+// the critical path (one line per cycle), and prefills the FTB with the
+// direct CTIs it finds — so the BPU's first encounter with that code already
+// predicts block boundaries and targets instead of falling through cold.
+//
+// Decode ground truth comes from the program image (the simulator's stand-in
+// for reading raw line bytes). Indirect CTIs and returns carry no static
+// target and are skipped, exactly as a hardware shadow decoder must.
+// Discovered targets can optionally be prefetched through the shared port.
+type Shadow struct {
+	port port
+	cfg  ShadowConfig
+
+	// decode holds line addresses awaiting shadow decode; targets holds
+	// discovered target lines awaiting an idle bus slot.
+	decode  []uint64
+	targets []uint64
+
+	// LinesDecoded counts lines fully scanned; DecodeDrops lines discarded
+	// on a full decode queue; Prefills FTB insertions; AlreadyKnown CTIs the
+	// FTB already held; IndirectSkipped CTIs with no static target;
+	// TargetDrops target-line candidates discarded on a full queue.
+	LinesDecoded, DecodeDrops    uint64
+	Prefills, AlreadyKnown       uint64
+	IndirectSkipped, TargetDrops uint64
+}
+
+// ShadowConfig tunes the shadow-branch decoder.
+type ShadowConfig struct {
+	// DecodeQueue caps lines awaiting shadow decode.
+	DecodeQueue int
+	// TargetQueue caps discovered-target lines awaiting prefetch issue.
+	TargetQueue int
+	// PrefetchTargets also prefetches the line holding each newly
+	// discovered branch target, on top of prefilling the FTB.
+	PrefetchTargets bool
+}
+
+// DefaultShadowConfig returns the default decoder with target prefetching on.
+func DefaultShadowConfig() ShadowConfig {
+	return ShadowConfig{DecodeQueue: 4, TargetQueue: 8, PrefetchTargets: true}
+}
+
+func (c *ShadowConfig) setDefaults() {
+	d := DefaultShadowConfig()
+	if c.DecodeQueue <= 0 {
+		c.DecodeQueue = d.DecodeQueue
+	}
+	if c.TargetQueue <= 0 {
+		c.TargetQueue = d.TargetQueue
+	}
+}
+
+// NewShadow creates a shadow-branch decoder. env.FTB and env.Image must be
+// non-nil.
+func NewShadow(env Env, cfg ShadowConfig) *Shadow {
+	cfg.setDefaults()
+	if env.FTB == nil {
+		panic("prefetch: Shadow requires an FTB")
+	}
+	if env.Image == nil {
+		panic("prefetch: Shadow requires an image provider")
+	}
+	return &Shadow{
+		port:    port{env: env},
+		cfg:     cfg,
+		decode:  make([]uint64, 0, cfg.DecodeQueue),
+		targets: make([]uint64, 0, cfg.TargetQueue),
+	}
+}
+
+// Name implements Prefetcher.
+func (s *Shadow) Name() string { return "shadow" }
+
+// Config returns the active (normalised) configuration.
+func (s *Shadow) Config() ShadowConfig { return s.cfg }
+
+// OnDemandAccess implements Prefetcher: a line arriving at the L1-I side (a
+// full miss being fetched, or a prefetched line's first use) has shadow
+// bytes worth decoding; resident-line hits were decoded when they arrived.
+func (s *Shadow) OnDemandAccess(lineAddr uint64, l1Hit, pfbHit bool, now int64) {
+	if l1Hit {
+		return
+	}
+	for _, d := range s.decode {
+		if d == lineAddr {
+			return
+		}
+	}
+	if len(s.decode) >= s.cfg.DecodeQueue {
+		s.DecodeDrops++
+		return
+	}
+	s.decode = append(s.decode, lineAddr)
+}
+
+// Tick implements Prefetcher: decode one queued line, then issue at most one
+// discovered-target prefetch into an idle bus slot.
+func (s *Shadow) Tick(now int64) {
+	if len(s.decode) > 0 {
+		line := s.decode[0]
+		n := copy(s.decode, s.decode[1:])
+		s.decode = s.decode[:n]
+		s.decodeLine(line)
+		s.LinesDecoded++
+	}
+	for len(s.targets) > 0 {
+		r := s.port.tryIssue(s.targets[0], now)
+		if r == busBusy {
+			return
+		}
+		n := copy(s.targets, s.targets[1:])
+		s.targets = s.targets[:n]
+		if r == issued {
+			return
+		}
+	}
+}
+
+// decodeLine scans one line's instructions for direct CTIs and prefills the
+// FTB with any block the buffer does not already know. Fetch blocks are
+// reconstructed line-locally: the first block is assumed to start at the
+// line boundary (a hardware shadow decoder cannot see the preceding line
+// either), and each CTI starts the next.
+func (s *Shadow) decodeLine(line uint64) {
+	im := s.port.env.Image()
+	ftb := s.port.env.FTB
+	blockOriented := ftb.Config().BlockOriented
+	blkStart := line
+	for pc := line; pc < line+uint64(s.port.env.LineBytes); pc += isa.InstrBytes {
+		ins, ok := im.InstrAt(pc)
+		if !ok {
+			return // ran off the image; nothing decodable remains in the line
+		}
+		if !ins.IsCTI() {
+			continue
+		}
+		start := blkStart
+		blkStart = pc + isa.InstrBytes
+		if ins.Kind.IsIndirect() {
+			s.IndirectSkipped++ // no static target to prefill
+			continue
+		}
+		// The FTB keys block-oriented entries by block start and
+		// conventional entries by the branch address itself.
+		key := start
+		if !blockOriented {
+			key = pc
+		}
+		if ftb.Peek(key) {
+			s.AlreadyKnown++
+			continue
+		}
+		ftb.TrainBlock(start, int(pc-start)/isa.InstrBytes+1, ins.Kind, ins.Target)
+		s.Prefills++
+		if s.cfg.PrefetchTargets {
+			s.enqueueTarget(ins.Target &^ uint64(s.port.env.LineBytes-1))
+		}
+	}
+}
+
+func (s *Shadow) enqueueTarget(line uint64) {
+	for _, t := range s.targets {
+		if t == line {
+			return
+		}
+	}
+	if len(s.targets) >= s.cfg.TargetQueue {
+		s.TargetDrops++
+		return
+	}
+	s.targets = append(s.targets, line)
+}
+
+// NextEvent implements Prefetcher: a populated decode queue makes the engine
+// active every cycle (each Tick decodes a line and mutates the FTB); with
+// decode drained, the target queue follows the shared head-defers logic — an
+// empty queue waits on demand traffic, a deferred head on the bus.
+func (s *Shadow) NextEvent(now int64) int64 {
+	if len(s.decode) > 0 {
+		return now
+	}
+	if len(s.targets) == 0 {
+		return math.MaxInt64
+	}
+	if !s.port.headDefers(s.targets[0], now) {
+		return now
+	}
+	return s.port.env.Hier.BusFreeAt()
+}
+
+// OnSkip implements Prefetcher: inside a skipped stretch the decode queue is
+// provably empty (NextEvent pins decode work to "now"), so the only per-cycle
+// effect the skipped Ticks could have had is deferring the target head on a
+// busy bus.
+func (s *Shadow) OnSkip(cycles uint64) {
+	if len(s.targets) > 0 {
+		s.port.stats.DeferredBusBusy += cycles
+	}
+}
+
+// PushInert implements Prefetcher: the decoder is driven by arriving lines,
+// never by the FTQ, so predicted-block pushes cannot wake it. (It writes the
+// FTB the BPU reads, but only in active Ticks — during a skippable window
+// the decode queue is empty.)
+func (s *Shadow) PushInert() bool { return true }
+
+// OnSquash implements Prefetcher. Queued lines were genuinely fetched —
+// wrong-path or not, their bytes arrived and their branches are real code —
+// so redirects invalidate nothing.
+func (s *Shadow) OnSquash() {}
+
+// Reset implements Prefetcher: queues emptied, counters zeroed, backing
+// arrays retained. The FTB itself is reset by its owner.
+func (s *Shadow) Reset() {
+	s.decode = s.decode[:0]
+	s.targets = s.targets[:0]
+	s.LinesDecoded, s.DecodeDrops = 0, 0
+	s.Prefills, s.AlreadyKnown = 0, 0
+	s.IndirectSkipped, s.TargetDrops = 0, 0
+	s.port.stats = PortStats{}
+}
+
+// IssueStats implements Prefetcher.
+func (s *Shadow) IssueStats() PortStats { return s.port.stats }

@@ -1,0 +1,39 @@
+package simtest
+
+import "testing"
+
+// fuzzSeeds is the committed seed set: enough draws that every prefetcher
+// kind appears at least once (the kind is the first thing fuzzConfig draws),
+// plus a couple of large seeds that land on the slow-memory / tiny-queue
+// corners. The same seeds back the checked-in corpus under
+// testdata/fuzz/FuzzKernelDifferential.
+var fuzzSeeds = []int64{2, 3, 13, 23, 28, 33, 42, 59}
+
+// FuzzKernelDifferential is the native fuzz target: the fuzzer mutates one
+// int64 seed, and Fuzz expands it into a random (config, program) pair run
+// through the scheduled-vs-naive, pooled-Reset-vs-fresh, and
+// workers-1-vs-8 oracles. CI runs this with a bounded -fuzztime as a smoke
+// step; `go test` without -fuzz still replays the committed corpus.
+func FuzzKernelDifferential(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		Fuzz(t, seed)
+	})
+}
+
+// TestFuzzSeedsCoverEveryKind pins the seed set's engine coverage: if a
+// refactor of fuzzConfig reshuffles the rng draws, this fails rather than
+// silently shrinking what the corpus exercises.
+func TestFuzzSeedsCoverEveryKind(t *testing.T) {
+	covered := map[string]bool{}
+	for _, s := range fuzzSeeds {
+		covered[string(seedKind(s))] = true
+	}
+	for _, k := range fuzzKinds {
+		if !covered[string(k)] {
+			t.Errorf("no committed fuzz seed draws prefetcher kind %q", k)
+		}
+	}
+}

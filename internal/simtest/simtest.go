@@ -158,6 +158,8 @@ func Grid() []Triple {
 			c.Prefetch.FDP.RemoveCPF = true
 		}),
 		mk("perfect", func(c *core.Config) { c.PerfectL1I = true }),
+		mk("mana", func(c *core.Config) { c.Prefetch.Kind = core.PrefetchMANA }),
+		mk("shadow", func(c *core.Config) { c.Prefetch.Kind = core.PrefetchShadow }),
 	}
 }
 
