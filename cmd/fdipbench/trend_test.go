@@ -14,6 +14,26 @@ import (
 // repoRoot is where the committed BENCH_*.json trajectory lives.
 const repoRoot = "../.."
 
+// TestTrendTrajectoryLabels pins the committed snapshot sequence. PR 8 is a
+// deliberate gap: it landed the MANA and shadow prefetch engines plus E17–E19
+// without committing a snapshot, so the perf trajectory jumps from PR 7
+// straight to PR 9 (whose snapshot is the first to include the three new
+// experiments). A new snapshot extends the expected list here.
+func TestTrendTrajectoryLabels(t *testing.T) {
+	snaps, err := loadTrend(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BENCH_PR4", "BENCH_PR5", "BENCH_PR6", "BENCH_PR7", "BENCH_PR9"}
+	var got []string
+	for _, ts := range snaps {
+		got = append(got, ts.label)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("committed trajectory = %v, want %v", got, want)
+	}
+}
+
 // TestTrendOverCommittedSnapshots renders the trend dashboard over the
 // repository's committed trajectory files and checks both tables carry the
 // per-experiment and per-snapshot series.

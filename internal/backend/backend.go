@@ -11,6 +11,7 @@ package backend
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"fdip/internal/isa"
 	"fdip/internal/pipe"
@@ -71,9 +72,13 @@ type Backend struct {
 	ar *pipe.Arena
 
 	// The ROB is stored as parallel arrays: the scheduler and commit scans
-	// touch only the dense issued/done arrays, and each entry is a 4-byte
-	// arena index, so nothing here ever copies a uop record.
-	robIdx    []uint32
+	// touch only the dense arrays below, and nothing here ever copies a
+	// uop record. robEnt packs each entry's arena index (low 32 bits) with
+	// its scheduler meta word (high 32 bits, pipe.Uop.Sched: src1 |
+	// src2<<8 | dst<<16 | latency<<24, NoReg/r0 mapped to 0) — fill writes
+	// both with one store, and an issue visit reads the operands and the
+	// arena index for the mispredict hand-off from one load.
+	robEnt    []uint64
 	robIssued []bool
 	robDone   []int64
 	head      int
@@ -101,14 +106,50 @@ type Backend struct {
 	missDone    int64
 	missIdx     uint32 // arena index of the pending mispredict (valid while missPresent)
 
-	// quietUntil memoises the scheduler scan's no-issue horizon: while
-	// quietValid and now < quietUntil, no entry in the issue window can
-	// have ready operands, so both issue and NextEvent skip the window
-	// scan. Readiness depends only on regReady, the clock, and window
-	// membership, so the memo is invalidated wherever those change: an
-	// issue (regReady writes), a fill (new window entry), a squash
-	// (membership), and Reset. Commit removes only issued entries and
-	// leaves the memo valid.
+	// Wakeup scheduler. The unissued ROB entries live in a bitmap (unbits,
+	// one bit per slot), so selection iterates exactly the window's entries
+	// in age order with trailing-zeros extraction — the issued holes the
+	// ROB ring scan steps over one by one simply have no bits — and each
+	// entry's operands live in the packed high half of its robEnt word, so
+	// a readiness check is two regReady loads and a compare, no arena
+	// access. wakeBound is a
+	// conservative lower bound on the earliest cycle any window entry could
+	// issue: exact after every scan that issues nothing (the scan computes
+	// it for free, subsuming the scan path's quiet memo), reset to now by a
+	// scan that issues (regReady changed under it — the same invalidation
+	// discipline as the memo), and folded down by each fill that enters the
+	// window. Both issue and NextEvent answer "can anything issue?" by one
+	// compare. The bound can run slack-low — a squash may remove its
+	// holder, raising the true minimum — which costs at most one extra
+	// no-op scan, never a missed wakeup; see ARCHITECTURE.md "Backend:
+	// dependency-driven issue wakeup" for the identity argument.
+	//
+	// An earlier revision of this scheduler maintained eager per-register
+	// waiter lists with cached wake times, recomputed at each producer
+	// issue. Measured on BenchmarkStep it lost ~15% to the linear scan:
+	// consumers issue within a few cycles here, so two subscribe/unsubscribe
+	// link operations per instruction port cost more than the rescans they
+	// avoided. The lazy recompute below keeps the O(1) wakeup answer
+	// without any per-producer bookkeeping.
+	unbits  []uint64 // bit set ⇔ ROB slot holds an unissued entry
+	unCount int      // unissued entries (popcount of unbits)
+	// wakeBound is the earliest cycle any window entry could have ready
+	// operands — conservative (never later than the truth), exact while the
+	// window is operand-blocked.
+	wakeBound int64
+
+	// useScan routes scheduling through the retained linear-scan reference
+	// implementation (issueScan/windowReadyAtScan) instead of the wakeup
+	// structures. Test-only: the shadow-model property test drives a scan
+	// backend and a wakeup backend through identical operation sequences
+	// and requires identical observable state.
+	useScan bool
+
+	// quietUntil memoises the linear-scan reference's no-issue horizon:
+	// while quietValid and now < quietUntil, no entry in the issue window
+	// can have ready operands, so both issueScan and windowReadyAtScan
+	// skip the window scan. Scan mode only; the wakeup scheduler's
+	// wakeBound subsumes it.
 	quietUntil int64
 	quietValid bool
 
@@ -121,6 +162,17 @@ type Backend struct {
 	// on the pointed-to contents afterwards (enforced by
 	// core.TestOnCommitPointerNotRetained).
 	OnCommit func(u *pipe.Uop)
+
+	// OnCommitRange is the batched form of OnCommit: called at most once
+	// per cycle with the arena range of the instructions committed that
+	// cycle (first slot, count; walk with Arena().At/Next — commits
+	// release the oldest live slots, so the range is contiguous in
+	// allocation order). One indirect call per cycle replaces one per
+	// instruction on the commit hot path. The same no-retention contract
+	// applies to every slot in the range, and the callback runs before the
+	// slots are released. When both hooks are set, OnCommit fires per
+	// instruction first, then OnCommitRange once.
+	OnCommitRange func(first uint32, n int)
 
 	// Committed counts architecturally retired instructions; Issued all
 	// issues including wrong-path; Squashed entries discarded by
@@ -144,14 +196,29 @@ type dpSeg struct {
 // delivery never allocates.
 func New(cfg Config) *Backend {
 	cfg.setDefaults()
-	return &Backend{
+	b := &Backend{
 		cfg:       cfg,
 		ar:        pipe.NewArena(cfg.PipeCap + cfg.ROBSize + 8),
-		robIdx:    make([]uint32, cfg.ROBSize),
+		robEnt:    make([]uint64, cfg.ROBSize),
 		robIssued: make([]bool, cfg.ROBSize),
 		robDone:   make([]int64, cfg.ROBSize),
 		dpSegs:    make([]dpSeg, cfg.PipeCap),
+		unbits:    make([]uint64, (cfg.ROBSize+63)/64),
 	}
+	b.schedReset()
+	return b
+}
+
+// schedReset restores the wakeup scheduler's pristine empty state, retaining
+// every backing array. Per-slot link and cache entries are rewritten by
+// schedInsert before a slot becomes live, so only the list heads, the window,
+// and the cached minimum need clearing.
+func (b *Backend) schedReset() {
+	for i := range b.unbits {
+		b.unbits[i] = 0
+	}
+	b.unCount = 0
+	b.wakeBound = math.MaxInt64
 }
 
 // Config returns the normalised configuration.
@@ -166,7 +233,8 @@ func (b *Backend) Arena() *pipe.Arena { return b.ar }
 // decode pipe, an empty uop arena, a clean scoreboard, no pending
 // misprediction, and counters zeroed, retaining every backing array (stale
 // ROB and arena slots are unobservable — fill rewrites a ROB slot completely
-// before count makes it live, and buildUop assigns every arena field). The
+// before count makes it live, and the fetch delivery loop assigns every
+// arena field). The
 // OnCommit hook persists; owners that rebind it per run may do so after
 // Reset.
 func (b *Backend) Reset() {
@@ -182,6 +250,7 @@ func (b *Backend) Reset() {
 	b.missIssued = false
 	b.missDone = 0
 	b.missIdx = 0
+	b.schedReset()
 	b.quietUntil = 0
 	b.quietValid = false
 	b.Committed, b.Issued, b.Squashed = 0, 0, 0
@@ -300,11 +369,25 @@ func (b *Backend) readyAt(ins *isa.Instr, now int64) int64 {
 
 // windowReadyAt returns the earliest cycle any unissued entry in the
 // scheduler window could have ready operands: now when one is ready this
-// cycle, math.MaxInt64 when the window holds none. A scan that proves the
-// window quiet records its horizon in the quiet memo, so repeat queries —
-// NextEvent after every stepped cycle, and issue's own scan — cost nothing
-// until the horizon arrives or the window changes.
+// cycle, math.MaxInt64 when the window holds none. The wakeup scheduler
+// answers from wakeBound — an O(1) read. The bound is conservative, so this
+// may report an earlier cycle than the scan reference would (the extra cycle
+// steps through a no-op Tick whose scan then tightens the bound); it never
+// reports a later one, which is what NextEvent's contract requires.
 func (b *Backend) windowReadyAt(now int64) int64 {
+	if b.useScan {
+		return b.windowReadyAtScan(now)
+	}
+	if b.wakeBound <= now {
+		return now
+	}
+	return b.wakeBound
+}
+
+// windowReadyAtScan is the retained linear-scan reference for windowReadyAt:
+// it rescans the window (through the quiet memo) re-deriving each entry's
+// operand readiness from regReady. Scan mode only.
+func (b *Backend) windowReadyAtScan(now int64) int64 {
 	if b.quietValid && now < b.quietUntil {
 		return b.quietUntil
 	}
@@ -318,7 +401,7 @@ func (b *Backend) windowReadyAt(now int64) int64 {
 			continue
 		}
 		examined++
-		t := b.readyAt(&b.ar.At(b.robIdx[slot]).Instr, now)
+		t := b.readyAt(&b.ar.At(uint32(b.robEnt[slot])).Instr, now)
 		if t <= now {
 			return now // ready: do not memoise, issue mutates this cycle
 		}
@@ -351,15 +434,21 @@ func (b *Backend) fill(now int64) {
 			}
 			slot := b.idx(b.head + b.count)
 			ai := s.first
-			b.robIdx[slot] = ai
+			u := b.ar.At(ai)
+			b.robEnt[slot] = uint64(ai) | uint64(u.Sched)<<32
 			b.robIssued[slot] = false
-			b.robDone[slot] = 0
+			// robDone is read only behind robIssued, so the stale value
+			// needs no clearing; issue rewrites it.
 			b.count++
-			b.quietValid = false // a new window entry may be ready sooner
+			if b.useScan {
+				b.quietValid = false // a new window entry may be ready sooner
+			} else {
+				b.schedInsert(int32(slot), u.Sched, now)
+			}
 			s.first = b.ar.Next(ai)
 			s.n--
 			b.dpCount--
-			if u := b.ar.At(ai); u.Mispredicted {
+			if u.Mispredicted {
 				if b.missPresent {
 					panic(fmt.Sprintf("backend: second in-flight mispredict (seq %d after %d)", u.Seq, b.ar.At(b.missIdx).Seq))
 				}
@@ -394,11 +483,17 @@ func (b *Backend) resolve(now int64) *pipe.Uop {
 // arena slot — the oldest live slot, since the arena allocates in fetch
 // order — once the OnCommit observer has returned.
 func (b *Backend) commit(now int64) {
+	freed := 0
+	var firstAI uint32
 	for n := 0; n < b.cfg.CommitWidth && b.count > 0; n++ {
 		if !b.robIssued[b.head] || b.robDone[b.head] > now {
-			return
+			break
 		}
-		u := b.ar.At(b.robIdx[b.head])
+		ai := uint32(b.robEnt[b.head])
+		if freed == 0 {
+			firstAI = ai
+		}
+		u := b.ar.At(ai)
 		if !u.OnCorrectPath {
 			// Wrong-path work is removed by SquashAfter, never committed;
 			// reaching here means the redirect protocol was violated.
@@ -407,7 +502,12 @@ func (b *Backend) commit(now int64) {
 		if b.OnCommit != nil {
 			b.OnCommit(u)
 		}
-		b.ar.FreeOldest(1)
+		// The slot is dead but its arena entry is released in one batched
+		// FreeOldest below — commits free the oldest live slots in order,
+		// so deferring the release changes nothing an observer can see
+		// (OnCommit's no-retention contract already forbids reading the
+		// slot after the callback returns).
+		freed++
 		b.Committed++
 		b.head = b.idx(b.head + 1)
 		b.count--
@@ -415,14 +515,167 @@ func (b *Backend) commit(now int64) {
 			b.issuedPrefix--
 		}
 	}
+	if freed > 0 {
+		if b.OnCommitRange != nil {
+			b.OnCommitRange(firstAI, freed)
+		}
+		b.ar.FreeOldest(freed)
+	}
 }
 
-// issue selects ready instructions within the scheduler window. The scan
-// starts past the issued prefix — entries the original head-to-tail walk
-// would skip one by one — which keeps the per-cycle cost proportional to
-// live scheduler work instead of ROB occupancy; a valid quiet memo proves
-// the whole window operand-blocked and skips the scan outright.
+// issue selects ready instructions within the scheduler window: in age
+// order, up to IssueWidth of them, never past the window's current boundary.
+// The wakeup scheduler proves the common case — nothing ready — from
+// wakeBound without touching a single entry, and on active cycles iterates
+// only the set bits of the unissued bitmap in ring age order, re-deriving
+// each entry's readiness from the packed meta word and the scoreboard.
+// Computing readiness at the visit, against the live regReady, is what makes
+// an issue earlier in the same walk visible to its dependents later in it —
+// the same same-cycle visibility the scan reference has. The window boundary
+// is the examined counter, which counts every visited entry including ones
+// issued this walk — exactly the scan reference's examined semantics, so
+// within-cycle issues do not admit replacement entries early.
 func (b *Backend) issue(now int64) {
+	if b.useScan {
+		b.issueScan(now)
+		return
+	}
+	if b.wakeBound > now {
+		return // no window entry has ready operands this cycle
+	}
+	issued, examined := 0, 0
+	quiet := int64(math.MaxInt64)
+	complete, downgrade := true, false
+	nw := len(b.unbits)
+	hw := b.head >> 6
+	hbit := uint(b.head) & 63
+	// One full circle of words starting at the head's: the first visit
+	// masks off bits below the head (they are the ring's youngest tail and
+	// come last, as the wi == nw re-visit), so set bits stream in age order.
+scan:
+	for wi := 0; wi <= nw; wi++ {
+		idx := hw + wi
+		if idx >= nw {
+			idx -= nw
+		}
+		w := b.unbits[idx]
+		if wi == 0 {
+			w &= ^uint64(0) << hbit
+		} else if wi == nw {
+			if hbit == 0 {
+				break
+			}
+			w &= ^(^uint64(0) << hbit)
+		}
+		base := idx << 6
+		for w != 0 {
+			s := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			ent := b.robEnt[s]
+			m := uint32(ent >> 32)
+			t := b.regReady[m&0xff]
+			if r := b.regReady[(m>>8)&0xff]; r > t {
+				t = r
+			}
+			if t <= now {
+				b.unbits[idx] &^= 1 << (uint(s) & 63)
+				b.unCount--
+				b.robIssued[s] = true
+				done := now + int64(m>>24)
+				b.robDone[s] = done
+				if d := (m >> 16) & 0xff; d != 0 {
+					if done < b.regReady[d] {
+						// WAW overwrite moved the register's ready
+						// time earlier: a waiter visited before this
+						// producer may now wake sooner than the
+						// readiness folded into quiet.
+						downgrade = true
+					}
+					b.regReady[d] = done
+				}
+				if b.missPresent && uint32(ent) == b.missIdx {
+					b.missIssued = true
+					b.missDone = done
+				}
+				b.Issued++
+				if issued++; issued == b.cfg.IssueWidth {
+					complete = false
+					break scan
+				}
+			} else if t < quiet {
+				quiet = t
+			}
+			if examined++; examined == b.cfg.IssueWindow {
+				complete = false
+				break scan
+			}
+		}
+	}
+	if issued == 0 || (complete && !downgrade) {
+		// The walk visited every unissued entry (always true when nothing
+		// issued: the width and window caps were never hit), so quiet is
+		// the exact minimum ready time of the whole window — including the
+		// effect of this cycle's issues, because program order puts every
+		// producer before its consumers in the walk, and readiness is
+		// re-derived from the live scoreboard at each visit. The one way an
+		// issuing walk can invalidate an already-folded readiness is a WAW
+		// downgrade — a younger short-latency producer pulling a register's
+		// ready time earlier after a waiter on it was visited — which the
+		// downgrade flag catches; every other scoreboard write only raises
+		// ready times, leaving quiet conservative. Until a fill or squash
+		// changes the window, no entry can issue before quiet, and busy
+		// steady-state cycles skip the walk entirely. This is strictly
+		// stronger than the scan reference's quiet memo, which an issuing
+		// cycle always invalidates.
+		b.wakeBound = quiet
+		return
+	}
+	// The walk stopped at the width or window cap (or a WAW downgrade made
+	// quiet untrustworthy), so a window entry may be ready as soon as next
+	// cycle: fall back to "rescan next active cycle", the same invalidation
+	// the scan reference's memo performs after issuing.
+	b.wakeBound = now
+}
+
+// schedInsert registers the just-filled ROB slot s with the wakeup
+// scheduler: the slot's unissued bit is set, and when the entry enters the
+// issue window — fewer than IssueWindow older unissued entries exist — its
+// current ready time, derived from the packed scheduler word m
+// (pipe.Uop.Sched, already stored in robEnt by fill), folds into wakeBound.
+// The fold is skipped when wakeBound has already fired (wakeBound <= now):
+// fill runs before issue in Tick, so the pending scan this same cycle
+// visits the new entry and recomputes the bound itself.
+func (b *Backend) schedInsert(s int32, m uint32, now int64) {
+	b.unbits[s>>6] |= 1 << (uint(s) & 63)
+	if b.wakeBound > now && b.unCount < b.cfg.IssueWindow {
+		t := b.regReady[m&0xff]
+		if r := b.regReady[(m>>8)&0xff]; r > t {
+			t = r
+		}
+		if t < b.wakeBound {
+			b.wakeBound = t
+		}
+	}
+	b.unCount++
+}
+
+// schedRemove takes the unissued entry at ROB slot s out of the scheduler (a
+// squash of an unissued entry; issue clears bits inline). wakeBound needs no
+// update — removals can only raise the window's true minimum, which leaves
+// the bound conservative (at worst one spurious no-op scan tightens it).
+func (b *Backend) schedRemove(s int32) {
+	b.unbits[s>>6] &^= 1 << (uint(s) & 63)
+	b.unCount--
+}
+
+// issueScan is the retained linear-scan reference for issue. The scan starts
+// past the issued prefix — entries the original head-to-tail walk would skip
+// one by one — and examines up to IssueWindow unissued entries, re-deriving
+// each one's operand readiness from regReady; a valid quiet memo proves the
+// whole window operand-blocked and skips the scan outright. Scan mode only:
+// the wakeup scheduler must replay these exact selection semantics, enforced
+// by the shadow-model property test.
+func (b *Backend) issueScan(now int64) {
 	for b.issuedPrefix < b.count && b.robIssued[b.idx(b.head+b.issuedPrefix)] {
 		b.issuedPrefix++
 	}
@@ -440,7 +693,7 @@ func (b *Backend) issue(now int64) {
 			continue
 		}
 		examined++
-		ai := b.robIdx[slot]
+		ai := uint32(b.robEnt[slot])
 		u := b.ar.At(ai)
 		if t := b.readyAt(&u.Instr, now); t > now {
 			if t < quiet {
@@ -478,12 +731,17 @@ func (b *Backend) issue(now int64) {
 // younger than seq sits in the ROB tail or the decode pipe, both counted
 // here.
 func (b *Backend) SquashAfter(seq uint64) {
-	b.quietValid = false // window membership changes
+	b.quietValid = false // window membership changes (scan mode)
 	squashed := 0
 	for b.count > 0 {
 		tail := b.idx(b.head + b.count - 1)
-		if b.ar.At(b.robIdx[tail]).Seq <= seq {
+		if b.ar.At(uint32(b.robEnt[tail])).Seq <= seq {
 			break
+		}
+		if !b.useScan && !b.robIssued[tail] {
+			// An unissued squashed entry leaves the unissued bitmap so
+			// later scans never visit the dead slot.
+			b.schedRemove(int32(tail))
 		}
 		b.count--
 		squashed++

@@ -27,6 +27,9 @@ func deliver(b *Backend, uops []pipe.Uop, now int64) {
 	for i, u := range uops {
 		idx, slot := b.Arena().Alloc()
 		*slot = u
+		// The fetch engine packs the scheduler word whenever it writes
+		// Instr; tests building uops by hand honour the same contract.
+		slot.Sched = slot.Instr.SchedPack()
 		if i == 0 {
 			first = idx
 		}

@@ -64,14 +64,19 @@ func TestOnCommitPointerNotRetained(t *testing.T) {
 	want := clean.Run()
 
 	scribbled := MustNew(cfg, im, oracle.NewWalker(im, 5))
-	orig := scribbled.be.OnCommit
+	orig := scribbled.be.OnCommitRange
+	ar := scribbled.be.Arena()
 	var retained *pipe.Uop
-	scribbled.be.OnCommit = func(u *pipe.Uop) {
-		if retained != nil {
-			*retained = pipe.Uop{Seq: ^uint64(0), PC: 0xdead_dead_dead, Mispredicted: true}
+	scribbled.be.OnCommitRange = func(first uint32, n int) {
+		ai := first
+		for i := 0; i < n; i++ {
+			if retained != nil {
+				*retained = pipe.Uop{Seq: ^uint64(0), PC: 0xdead_dead_dead, Mispredicted: true}
+			}
+			orig(ai, 1)
+			retained = ar.At(ai)
+			ai = ar.Next(ai)
 		}
-		orig(u)
-		retained = u
 	}
 	got := scribbled.Run()
 

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"fdip/internal/oracle"
-	"fdip/internal/pipe"
 	"fdip/internal/prefetch"
 	"fdip/internal/program"
 )
@@ -191,12 +190,17 @@ func TestCommittedMatchesOracleStream(t *testing.T) {
 	cfg.MaxInstrs = n
 	pr := MustNew(cfg, im, oracle.NewWalker(im, 42))
 	var got []uint64
-	inner := pr.be.OnCommit
-	pr.be.OnCommit = func(u *pipe.Uop) {
-		if len(got) < n {
-			got = append(got, u.PC)
+	inner := pr.be.OnCommitRange
+	ar := pr.be.Arena()
+	pr.be.OnCommitRange = func(first uint32, cnt int) {
+		ai := first
+		for i := 0; i < cnt; i++ {
+			if len(got) < n {
+				got = append(got, ar.At(ai).PC)
+			}
+			ai = ar.Next(ai)
 		}
-		inner(u)
+		inner(first, cnt)
 	}
 	pr.Run()
 	if len(got) < n {

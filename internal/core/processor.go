@@ -91,7 +91,7 @@ func New(cfg Config, im *program.Image, stream oracle.Stream) (*Processor, error
 	p.q = ftq.New(cfg.FTQEntries, cfg.LineBytes)
 	p.bpu = frontend.NewBPU(p.ftb, p.dir, p.ras, p.q, im.Entry, p.ftb.Config().MaxBlockInstrs)
 	p.be = backend.New(cfg.Backend)
-	p.be.OnCommit = p.onCommit
+	p.be.OnCommitRange = p.onCommitRange
 
 	env := prefetch.Env{
 		L1I: p.l1i, PFB: p.pfb, Hier: p.hier, FTQ: p.q, FTB: p.ftb,
@@ -184,6 +184,17 @@ func (p *Processor) Now() int64 { return p.now }
 func (p *Processor) Committed() uint64 { return p.be.Committed }
 
 // onCommit trains predictor and FTB with architecturally retired CTIs.
+// onCommitRange walks the arena range the backend committed this cycle —
+// one indirect call per cycle instead of one per instruction.
+func (p *Processor) onCommitRange(first uint32, n int) {
+	ar := p.be.Arena()
+	ai := first
+	for i := 0; i < n; i++ {
+		p.onCommit(ar.At(ai))
+		ai = ar.Next(ai)
+	}
+}
+
 func (p *Processor) onCommit(u *pipe.Uop) {
 	p.committedByKind[u.Instr.Kind]++
 	if !u.Instr.IsCTI() {

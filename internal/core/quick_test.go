@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"fdip/internal/oracle"
-	"fdip/internal/pipe"
 	"fdip/internal/prefetch"
 	"fdip/internal/program"
 )
@@ -67,13 +66,18 @@ func TestQuickRandomConfigsHoldInvariants(t *testing.T) {
 		// Record the committed PC stream and compare against a raw walker.
 		ref := oracle.NewWalker(im, seed)
 		mismatch := false
-		inner := pr.be.OnCommit
-		pr.be.OnCommit = func(u *pipe.Uop) {
-			rec, _ := ref.Next()
-			if u.PC != rec.PC {
-				mismatch = true
+		inner := pr.be.OnCommitRange
+		ar := pr.be.Arena()
+		pr.be.OnCommitRange = func(first uint32, cnt int) {
+			ai := first
+			for i := 0; i < cnt; i++ {
+				rec, _ := ref.Next()
+				if ar.At(ai).PC != rec.PC {
+					mismatch = true
+				}
+				ai = ar.Next(ai)
 			}
-			inner(u)
+			inner(first, cnt)
 		}
 		res := pr.Run()
 

@@ -43,6 +43,13 @@ type FetchEngine struct {
 	exhausted bool
 	// nextInto is the stream's copy-free advance, when it offers one.
 	nextInto func(*oracle.Record) bool
+	// sched caches each static instruction's packed scheduler word
+	// (isa.Instr.SchedPack), indexed by word index. The pack is a pure
+	// function of the static instruction, so deriving it per delivered uop
+	// paid the operand remap and latency lookup once per dynamic instance;
+	// the table turns that into one load. Rebuilt on Reset (the image may
+	// change under a pooled machine).
+	sched []uint32
 
 	// DemandAccesses counts L1-I demand lookups; L1Hits and PFBHits their
 	// outcomes; FullMisses lookups that went to the L2 (LateMerges of
@@ -83,8 +90,24 @@ func newFetchEngine(im *program.Image, stream oracle.Stream, q *ftq.Queue, ar *p
 	if is, ok := stream.(interface{ NextInto(*oracle.Record) bool }); ok {
 		f.nextInto = is.NextInto
 	}
+	f.rebuildSched()
 	f.advance()
 	return f
+}
+
+// rebuildSched refreshes the packed-scheduler-word cache for the current
+// image, reusing the backing array when capacity allows (Reset on a pooled
+// machine must not allocate in steady state).
+func (f *FetchEngine) rebuildSched() {
+	code := f.im.Code
+	if cap(f.sched) < len(code) {
+		f.sched = make([]uint32, len(code))
+	} else {
+		f.sched = f.sched[:len(code)]
+	}
+	for i := range code {
+		f.sched[i] = code[i].SchedPack()
+	}
 }
 
 // advance pulls the next oracle record into f.cur, using the stream's
@@ -123,6 +146,7 @@ func (f *FetchEngine) Reset(im *program.Image, stream oracle.Stream) {
 	f.DemandAccesses, f.L1Hits, f.PFBHits, f.FullMisses, f.LateMerges = 0, 0, 0, 0, 0
 	f.Delivered, f.WrongPath, f.OutOfImage = 0, 0, 0
 	f.StallCycles, f.IdleNoFTQ, f.BackendFull = 0, 0, 0
+	f.rebuildSched()
 	f.advance()
 }
 
@@ -212,10 +236,23 @@ func (f *FetchEngine) Tick(now int64, accept int) (first uint32, n int) {
 	}
 
 	// Deliver instructions from this line, bounded by fetch width, block
-	// end, line end, and backend capacity. Each slot is written once by
-	// buildUop (it assigns every field, so the recycled slot needs no
-	// zeroing) and never copied again.
-	for n < f.width && n < accept && !b.Done() {
+	// end, line end, and backend capacity. Each slot is written once (every
+	// field is assigned, so the recycled slot needs no zeroing) and never
+	// copied again.
+	//
+	// Block prologue: every delivery this call comes from the head block,
+	// so the values that steer the per-instruction control flow — the
+	// cursor, the terminator distance, the predicted-taken terminator
+	// test — are computed from the block once, here. The block-invariant
+	// pass-through fields (start, FTB provenance, checkpoints) are copied
+	// per slot straight from the block record instead of from hoisted
+	// locals: b is one live register across the loop's calls where the
+	// locals were five, and the spill/reload traffic around the oracle
+	// advance measurably outweighed the re-loads they saved.
+	blockLen := b.FetchedInstrs
+	termLen := b.NumInstrs // the terminator is the block's last instruction
+	takenTerm := b.EndsInCTI && b.PredTaken
+	for n < f.width && n < accept && blockLen < termLen {
 		if f.l1i.LineAddr(pc) != line {
 			break
 		}
@@ -223,17 +260,56 @@ func (f *FetchEngine) Tick(now int64, accept int) (first uint32, n int) {
 		if n == 0 {
 			first = idx
 		}
-		if f.buildUop(pc, b, now, u) {
+		u.Seq = f.seq
+		u.PC = pc
+		u.FetchCycle = now
+		u.BlockStart = b.Start
+		blockLen++
+		u.BlockLen = blockLen
+		u.FTBHit = b.FTBHit
+		u.HistCP = b.HistCP
+		u.RASCP = b.RASCP
+		isTerminator := blockLen == termLen
+		if isTerminator && takenTerm {
+			u.PredNextPC = b.PredTarget
+		} else {
+			u.PredNextPC = pc + isa.InstrBytes
+		}
+		if rec := &f.cur; !f.diverged && !f.exhausted && rec.PC == pc {
+			// Correct path: the oracle already decoded this instruction,
+			// and its record is read in place (advance overwrites it only
+			// after the last use). This arm handles nearly every fetched
+			// instruction, so it stays inline in the delivery loop — the
+			// cold cases (wrong path, image end, replay end) share one
+			// out-of-line call below.
+			u.Instr = rec.Instr
+			// Correct-path PCs are always in-image, so the static sched
+			// cache covers them.
+			u.Sched = f.sched[isa.WordIndex(pc, f.im.Base)]
+			u.OnCorrectPath = true
+			u.ActualTaken = rec.Taken
+			u.ActualNextPC = rec.NextPC
+			u.Mispredicted = false
+			u.MissKind = pipe.MissNone
+			if u.PredNextPC != rec.NextPC {
+				u.Mispredicted = true
+				u.MissKind = classifyMiss(rec.Instr.Kind, isTerminator && b.EndsInCTI, b.PredTaken, rec.Taken)
+				f.diverged = true
+			}
+			f.advance()
+			f.seq++
+		} else if f.tagSlow(pc, u) {
 			// Oracle stream ended mid-slot: roll the unfinished
 			// allocation back and stop (replay end — the head block
-			// stays put and Delivered excludes this cycle by design).
+			// stays put and Delivered excludes this cycle by design;
+			// FetchedInstrs keeps its pre-iteration value).
 			f.ar.FreeNewest(1)
 			return first, n
 		}
 		n++
-		b.FetchedInstrs++
-		pc = b.NextFetchPC()
+		pc += isa.InstrBytes
 	}
+	b.FetchedInstrs = blockLen
 	if b.Done() {
 		f.q.PopHead()
 	}
@@ -241,30 +317,19 @@ func (f *FetchEngine) Tick(now int64, accept int) (first uint32, n int) {
 	return first, n
 }
 
-// buildUop fills u, the dynamic record for the instruction at pc within
-// block b, tagging it against the oracle stream. It writes into caller
-// storage (the delivery buffer slot) so the hot path never copies a whole
-// uop; every field is assigned, so the slot needs no prior zeroing. stop is
-// true when the oracle stream is exhausted (trace replay end).
-func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64, u *pipe.Uop) (stop bool) {
-	u.Seq = f.seq
-	u.PC = pc
-	u.FetchCycle = now
-	u.BlockStart = b.Start
-	u.BlockLen = b.FetchedInstrs + 1
-	u.FTBHit = b.FTBHit
-	u.HistCP = b.HistCP
-	u.RASCP = b.RASCP
+// tagSlow fills the per-instruction remainder of u on the cold paths the
+// delivery loop's inline correct-path arm excludes: wrong-path fetch,
+// fetch past the code image, and oracle-stream exhaustion. Every remaining
+// field is assigned, so the arena slot needs no prior zeroing. stop is true
+// when the oracle stream is exhausted (trace replay end).
+func (f *FetchEngine) tagSlow(pc uint64, u *pipe.Uop) (stop bool) {
 	u.OnCorrectPath = false
 	u.ActualTaken = false
 	u.ActualNextPC = 0
 	u.Mispredicted = false
 	u.MissKind = pipe.MissNone
 	var ins isa.Instr
-	if !f.diverged && !f.exhausted && f.cur.PC == pc {
-		// Correct path: the oracle already decoded this instruction.
-		ins = f.cur.Instr
-	} else if decoded, ok := f.im.InstrAt(pc); ok {
+	if decoded, ok := f.im.InstrAt(pc); ok {
 		ins = decoded
 	} else {
 		// Wrong-path fetch ran past the code image; hardware would fetch
@@ -273,13 +338,7 @@ func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64, u *pipe.Uop) 
 		f.OutOfImage++
 	}
 	u.Instr = ins
-
-	isTerminator := b.FetchedInstrs == b.NumInstrs-1
-	if isTerminator && b.EndsInCTI && b.PredTaken {
-		u.PredNextPC = b.PredTarget
-	} else {
-		u.PredNextPC = pc + isa.InstrBytes
-	}
+	u.Sched = ins.SchedPack()
 
 	if f.diverged {
 		f.WrongPath++
@@ -290,24 +349,7 @@ func (f *FetchEngine) buildUop(pc uint64, b *ftq.Block, now int64, u *pipe.Uop) 
 	if f.exhausted {
 		return true
 	}
-	// Read the current record in place (advance overwrites it only after
-	// the last use); copying it out was measurable at one copy per
-	// correct-path instruction.
-	rec := &f.cur
-	if rec.PC != pc {
-		panic(fmt.Sprintf("frontend: correct-path fetch at %#x but oracle expects %#x", pc, rec.PC))
-	}
-	u.OnCorrectPath = true
-	u.ActualTaken = rec.Taken
-	u.ActualNextPC = rec.NextPC
-	if u.PredNextPC != rec.NextPC {
-		u.Mispredicted = true
-		u.MissKind = classifyMiss(ins.Kind, isTerminator && b.EndsInCTI, b.PredTaken, rec.Taken)
-		f.diverged = true
-	}
-	f.advance()
-	f.seq++
-	return false
+	panic(fmt.Sprintf("frontend: correct-path fetch at %#x but oracle expects %#x", pc, f.cur.PC))
 }
 
 // classifyMiss names the misprediction cause.

@@ -104,6 +104,12 @@ type Queue struct {
 	entries  []Block
 	head     int
 	count    int
+	// newestSeq is the Seq of the most recently pushed block, captured at
+	// CommitPush. It is monotone over the queue's lifetime and only
+	// meaningful while the queue is non-empty — the prefetch scan's "is
+	// there anything unscanned?" fast path reads it instead of chasing the
+	// tail block through the ring every cycle.
+	newestSeq uint64
 
 	// Pushed and Squashes count queue traffic; FullStalls counts Push
 	// rejections due to a full queue.
@@ -195,9 +201,14 @@ func (q *Queue) CommitPush() {
 	for addr := first; addr <= last; addr += uint64(q.lineSize) {
 		b.Lines = append(b.Lines, Line{Addr: addr, State: LineCandidate})
 	}
+	q.newestSeq = b.Seq
 	q.count++
 	q.Pushed++
 }
+
+// NewestSeq returns the sequence number of the youngest queued block. Only
+// meaningful when the queue is non-empty.
+func (q *Queue) NewestSeq() uint64 { return q.newestSeq }
 
 // Head returns the fetch point, or nil when empty.
 func (q *Queue) Head() *Block {

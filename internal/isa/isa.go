@@ -110,6 +110,34 @@ func (k Kind) Latency() int {
 	}
 }
 
+// latTable is Latency in table form: one unconditional load where the
+// switch would cost data-dependent branches — the difference matters on the
+// scheduler pack path, which runs once per fetched instruction.
+var latTable = [NumKinds]uint8{
+	Nop: 1, ALU: 1, Mul: 4, Load: 2, Store: 1, FPU: 3,
+	CondBranch: 1, Jump: 1, Call: 1, Ret: 1, IndirectJump: 1, IndirectCall: 1,
+}
+
+// SchedPack packs everything the backend's wakeup scheduler needs from the
+// instruction — sources, destination, latency — into one word:
+// src1 | src2<<8 | dst<<16 | latency<<24. NoReg and the hardwired r0 both
+// map to register 0, which the scoreboard never writes, so a readiness
+// check is two regReady loads and a max with no absent-operand branches;
+// destination 0 doubles as "no destination" (r0 writes are discarded).
+func (i *Instr) SchedPack() uint32 {
+	s1, s2, d := i.Src1, i.Src2, i.Dst
+	if s1 >= NumRegs {
+		s1 = 0
+	}
+	if s2 >= NumRegs {
+		s2 = 0
+	}
+	if d >= NumRegs {
+		d = 0
+	}
+	return uint32(s1) | uint32(s2)<<8 | uint32(d)<<16 | uint32(latTable[i.Kind])<<24
+}
+
 // NoReg marks an absent register operand.
 const NoReg uint8 = 0xFF
 

@@ -50,15 +50,22 @@ type Walker struct {
 	pc  uint64
 
 	stack []uint64
-	// loopLeft tracks remaining taken-iterations per ModelLoop branch,
-	// keyed by word index.
-	loopLeft map[int]int
-	// lastTarget remembers each indirect CTI's previous dynamic target
-	// for sticky (bursty) dispatch, keyed by word index.
-	lastTarget map[int]uint64
-	// patPos tracks each ModelPattern branch's position in its pattern,
-	// keyed by word index.
-	patPos map[int]uint8
+	// The per-branch dynamic state below is dense, indexed by word index —
+	// one entry per static instruction. Maps keyed by word index measured
+	// as a hash probe per executed branch on the walker's hot path; the
+	// image is small enough that flat arrays are cheaper in time and not
+	// meaningfully worse in space.
+	//
+	// loopLeft tracks remaining taken-iterations per ModelLoop branch;
+	// -1 means the branch is outside its loop (no trip count drawn).
+	loopLeft []int32
+	// lastTarget remembers each indirect CTI's previous dynamic target for
+	// sticky (bursty) dispatch; hasLast distinguishes "never executed"
+	// (target addresses may legitimately be any value).
+	lastTarget []uint64
+	hasLast    []bool
+	// patPos tracks each ModelPattern branch's position in its pattern.
+	patPos []uint8
 
 	// Executed counts records produced.
 	Executed uint64
@@ -66,15 +73,20 @@ type Walker struct {
 
 // NewWalker creates a walker over im, seeded deterministically.
 func NewWalker(im *program.Image, seed int64) *Walker {
-	return &Walker{
+	w := &Walker{
 		im:         im,
 		rng:        rand.New(rand.NewSource(seed)),
 		pc:         im.Entry,
 		stack:      make([]uint64, 0, 64),
-		loopLeft:   make(map[int]int),
-		lastTarget: make(map[int]uint64),
-		patPos:     make(map[int]uint8),
+		loopLeft:   make([]int32, len(im.Code)),
+		lastTarget: make([]uint64, len(im.Code)),
+		hasLast:    make([]bool, len(im.Code)),
+		patPos:     make([]uint8, len(im.Code)),
 	}
+	for i := range w.loopLeft {
+		w.loopLeft[i] = -1
+	}
+	return w
 }
 
 // PC returns the address of the next instruction the walker will execute.
@@ -145,28 +157,30 @@ func (w *Walker) push(ret uint64) {
 	w.stack = append(w.stack, ret)
 }
 
-// condOutcome resolves a conditional branch per its behaviour model.
+// condOutcome resolves a conditional branch per its behaviour model. The
+// branch is inside the image (NextInto already decoded it), so its behaviour
+// record is read in place — Behavior carries two slice headers, and copying
+// it out was a duffcopy per executed conditional.
 func (w *Walker) condOutcome(pc uint64, ins isa.Instr) bool {
-	b := w.im.BehaviorAt(pc)
+	idx := isa.WordIndex(pc, w.im.Base)
+	b := &w.im.Behav[idx]
 	switch b.Model {
 	case program.ModelLoop:
-		idx := isa.WordIndex(pc, w.im.Base)
-		left, seen := w.loopLeft[idx]
-		if !seen {
+		left := w.loopLeft[idx]
+		if left < 0 {
 			// Entering the loop: draw a fresh trip count. Zero trips
 			// means the back-edge falls through immediately.
-			left = w.drawTrip(b.MeanTrip)
+			left = int32(w.drawTrip(b.MeanTrip))
 		}
 		if left > 0 {
 			w.loopLeft[idx] = left - 1
 			return true
 		}
-		delete(w.loopLeft, idx)
+		w.loopLeft[idx] = -1
 		return false
 	case program.ModelBiased:
 		return w.rng.Float64() < b.TakenProb
 	case program.ModelPattern:
-		idx := isa.WordIndex(pc, w.im.Base)
 		pos := w.patPos[idx]
 		taken := b.Pattern>>pos&1 == 1
 		pos++
@@ -198,21 +212,22 @@ func (w *Walker) drawTrip(mean int) int {
 // indirectTarget picks a dynamic target from the instruction's target set,
 // repeating the previous target with probability Sticky (bursty dispatch).
 func (w *Walker) indirectTarget(pc uint64) uint64 {
-	b := w.im.BehaviorAt(pc)
+	idx := isa.WordIndex(pc, w.im.Base)
+	b := &w.im.Behav[idx]
 	if len(b.Targets) == 0 {
 		panic(fmt.Sprintf("oracle: indirect CTI at %#x has no targets", pc))
 	}
-	idx := isa.WordIndex(pc, w.im.Base)
-	if last, ok := w.lastTarget[idx]; ok && b.Sticky > 0 && w.rng.Float64() < b.Sticky {
-		return last
+	if w.hasLast[idx] && b.Sticky > 0 && w.rng.Float64() < b.Sticky {
+		return w.lastTarget[idx]
 	}
 	t := w.drawTarget(b)
 	w.lastTarget[idx] = t
+	w.hasLast[idx] = true
 	return t
 }
 
 // drawTarget samples from the (possibly weighted) target set.
-func (w *Walker) drawTarget(b program.Behavior) uint64 {
+func (w *Walker) drawTarget(b *program.Behavior) uint64 {
 	if b.Weights == nil {
 		return b.Targets[w.rng.Intn(len(b.Targets))]
 	}
@@ -235,8 +250,11 @@ func (w *Walker) drawTarget(b program.Behavior) uint64 {
 func (w *Walker) Reset() {
 	w.pc = w.im.Entry
 	w.stack = w.stack[:0]
-	w.loopLeft = map[int]int{}
-	w.lastTarget = map[int]uint64{}
-	w.patPos = map[int]uint8{}
+	for i := range w.loopLeft {
+		w.loopLeft[i] = -1
+	}
+	clear(w.lastTarget)
+	clear(w.hasLast)
+	clear(w.patPos)
 	w.Executed = 0
 }

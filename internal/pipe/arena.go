@@ -50,7 +50,7 @@ func (a *Arena) Cap() int { return len(a.buf) }
 func (a *Arena) Len() int { return int(a.tail - a.head) }
 
 // Alloc claims the next slot and returns its index and record. The caller
-// (the fetch engine's buildUop) assigns every field, so the slot needs no
+// (the fetch engine's delivery loop) assigns every field, so the slot needs no
 // zeroing. Panics when the ring is full — a lifetime bug, see the sizing
 // note on Arena.
 func (a *Arena) Alloc() (uint32, *Uop) {

@@ -64,6 +64,12 @@ type Uop struct {
 	BlockLen   int
 	// FTBHit records whether the enclosing block came from an FTB hit.
 	FTBHit bool
+	// Sched is Instr's packed scheduler word (isa.Instr.SchedPack), assigned
+	// by whoever writes Instr — the backend's wakeup scheduler consumes it at
+	// ROB fill without re-deriving operands or latency from the arena. It
+	// sits in what was alignment padding, keeping the record at two cache
+	// lines.
+	Sched uint32
 	// HistCP is the direction-history checkpoint taken before this
 	// block's terminator predicted.
 	HistCP uint64

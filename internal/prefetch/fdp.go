@@ -140,7 +140,7 @@ func (f *FDP) Tick(now int64) {
 func (f *FDP) scan(now int64) {
 	q := f.port.env.FTQ
 	n := q.Len()
-	if n <= f.cfg.SkipHead || q.At(n-1).Seq < f.nextSeq {
+	if n <= f.cfg.SkipHead || q.NewestSeq() < f.nextSeq {
 		return // everything queued has been scanned; skip the walk
 	}
 	// Queue entries carry consecutive sequence numbers (the BPU pushes them
@@ -278,7 +278,7 @@ func (f *FDP) scanBlocked() bool { return len(f.piq) >= f.cfg.PIQSize }
 // batches.
 func (f *FDP) NextEvent(now int64) int64 {
 	q := f.port.env.FTQ
-	if n := q.Len(); n > f.cfg.SkipHead && q.At(n-1).Seq >= f.nextSeq && !f.scanBlocked() {
+	if n := q.Len(); n > f.cfg.SkipHead && q.NewestSeq() >= f.nextSeq && !f.scanBlocked() {
 		return now // unscanned blocks and PIQ room: the scan advances this cycle
 	}
 	if len(f.piq) == 0 {

@@ -7,7 +7,10 @@
 //  2. pooled-Reset-vs-fresh — a machine dirtied by another run (completed or
 //     abandoned mid-flight) and then Reset must reproduce a fresh machine;
 //  3. workers-1-vs-8 — an engine Sweep's outcomes must be independent of the
-//     worker count.
+//     worker count;
+//  4. dist-vs-single — a loopback-sharded distributed sweep (wire-encoded
+//     assignments, shards in {1, 4}) must merge back to the single-process
+//     outcomes.
 //
 // The config space deliberately covers every prefetcher kind and the corners
 // where the scheduler contract is easiest to get wrong: tiny queues (heads
@@ -23,6 +26,7 @@ import (
 	"testing"
 
 	"fdip/internal/core"
+	"fdip/internal/dist"
 	"fdip/internal/engine"
 	"fdip/internal/oracle"
 	"fdip/internal/prefetch"
@@ -193,5 +197,33 @@ func Fuzz(tb testing.TB, seed int64) {
 	}
 	if !reflect.DeepEqual(one[0].Result, one[2].Result) {
 		tb.Fatalf("fuzz seed %d: duplicate jobs produced different results", seed)
+	}
+
+	// Oracle 4: a distributed sweep merges back to the single-process
+	// outcomes, shard count notwithstanding. Loopback dials give every
+	// shard its own engine and memo cache (no cross-shard coalescing to
+	// hide behind), Wire round-trips each assignment and outcome through
+	// the JSON wire form, and ChunkPoints 1 splits the three-job plan into
+	// three ranges so shards=4 genuinely interleaves completion order.
+	plan := engine.FromJobs(jobs...)
+	for _, shards := range []int{1, 4} {
+		co := dist.New(dist.Options{
+			Dialer:      dist.Loopback{Workers: 2, Wire: true},
+			Shards:      shards,
+			ChunkPoints: 1,
+		})
+		outs, err := co.Sweep(ctx, plan)
+		if err != nil {
+			tb.Fatalf("fuzz seed %d: dist shards=%d sweep: %v", seed, shards, err)
+		}
+		for i := range jobs {
+			if outs[i].Err != nil {
+				tb.Fatalf("fuzz seed %d: dist shards=%d job %s: %v", seed, shards, jobs[i].Name, outs[i].Err)
+			}
+			if !reflect.DeepEqual(outs[i].Result, one[i].Result) {
+				tb.Fatalf("fuzz seed %d: dist shards=%d job %s diverged from single-process\nsingle: %+v\ndist:   %+v",
+					seed, shards, jobs[i].Name, one[i].Result, outs[i].Result)
+			}
+		}
 	}
 }

@@ -160,6 +160,17 @@ func Grid() []Triple {
 		mk("perfect", func(c *core.Config) { c.PerfectL1I = true }),
 		mk("mana", func(c *core.Config) { c.Prefetch.Kind = core.PrefetchMANA }),
 		mk("shadow", func(c *core.Config) { c.Prefetch.Kind = core.PrefetchShadow }),
+		// A chronically operand-blocked backend: a two-entry issue window
+		// behind a single issue port keeps the wakeup scheduler's unissued
+		// bitmap and wake bound populated at essentially every cycle, so
+		// the mid-flight Reset tests abandon this machine with live
+		// scheduler state — the differential that catches a scheduler
+		// structure surviving Reset.
+		mk("tiny-window", func(c *core.Config) {
+			c.Backend.IssueWindow = 2
+			c.Backend.IssueWidth = 1
+			c.Prefetch.Kind = core.PrefetchFDP
+		}),
 	}
 }
 
