@@ -1,4 +1,4 @@
-// fdipd is the distributed-sweep daemon. It has three modes:
+// fdipd is the distributed-sweep daemon. Modes:
 //
 //	fdipd [-workers N]                 stdio worker (default): reads assign
 //	                                   frames on stdin, streams outcome frames
@@ -6,7 +6,26 @@
 //	                                   Exec dialer spawns.
 //	fdipd -listen :8080 [-workers N]   HTTP worker: serves the same protocol
 //	                                   at POST /v1/run for remote coordinators.
-//	fdipd -coordinate [flags]          coordinator: shards the built-in demo
+//	                                   With -register URL it also announces
+//	                                   itself to a sweep service and heartbeats
+//	                                   until shutdown (self-registration — no
+//	                                   -connect lists).
+//	fdipd -serve :9090 -state DIR      sweep service: persistent job queue,
+//	                                   shared result cache, streaming clients,
+//	                                   self-registering workers. SIGINT/SIGTERM
+//	                                   drains gracefully: in-flight ranges
+//	                                   finish and checkpoint, interrupted
+//	                                   sweeps re-queue, and a restart over the
+//	                                   same -state resumes them.
+//	fdipd -submit URL [flags]          client: submit the built-in demo plan to
+//	                                   a service, stream its results (resuming
+//	                                   through transport drops), and print the
+//	                                   same sorted NDJSON rows as -coordinate —
+//	                                   byte-identical to the -shards 0
+//	                                   reference.
+//	fdipd -watch URL -job ID [-from N] client: follow one sweep's raw stream
+//	                                   frames from cursor N.
+//	fdipd -coordinate [flags]          one-shot coordinator: shards the demo
 //	                                   plan across workers and prints one
 //	                                   NDJSON row per point (sorted by index,
 //	                                   deterministic fields only) on stdout,
@@ -21,21 +40,25 @@
 // budget, baked into the demo plan's configs), -topk (extremes retained in
 // the summary).
 //
-// Quickstart (2-way local shard with checkpointing, then diff against
-// single-process):
+// Service quickstart (one service, two self-registered workers, one client):
 //
-//	fdipd -coordinate -shards 2 -journal /tmp/sweep.journal > sharded.ndjson
+//	fdipd -serve :9090 -state /tmp/fdipd &
+//	fdipd -listen :0 -register http://localhost:9090 &
+//	fdipd -listen :0 -register http://localhost:9090 &
+//	fdipd -submit http://localhost:9090 > service.ndjson
 //	fdipd -coordinate -shards 0 > single.ndjson
-//	diff sharded.ndjson single.ndjson        # must be empty: bit-identical
+//	diff service.ndjson single.ndjson        # must be empty: bit-identical
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"iter"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,10 +66,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"fdip/internal/core"
 	"fdip/internal/dist"
 	"fdip/internal/engine"
+	"fdip/internal/svc"
 )
 
 func main() {
@@ -55,9 +80,22 @@ func main() {
 	var (
 		workers    = flag.Int("workers", 0, "concurrent simulations per worker engine (0 = GOMAXPROCS)")
 		listen     = flag.String("listen", "", "serve the HTTP worker protocol on this address instead of stdio")
-		coordinate = flag.Bool("coordinate", false, "run as coordinator over the built-in demo plan")
-		shards     = flag.Int("shards", 2, "coordinator: concurrent worker sessions (0 = single-process reference, no workers)")
-		chunk      = flag.Int("chunk", 2, "coordinator: plan points per assignment")
+		register   = flag.String("register", "", "worker: sweep-service URL to self-register with (heartbeats until shutdown)")
+		advertise  = flag.String("advertise", "", "worker: URL the service should dial back (default http://127.0.0.1:<listen port>)")
+		workerID   = flag.String("worker-id", "", "worker: stable registration id (default host-pid)")
+		serve      = flag.String("serve", "", "run the sweep service on this address")
+		state      = flag.String("state", "", "service: state directory (queue + sweep journals; required with -serve)")
+		maxQueued  = flag.Int("max-queued", 16, "service: max queued+running sweeps before submissions get 429")
+		ttl        = flag.Duration("ttl", 15*time.Second, "service/worker: registration heartbeat budget")
+		submit     = flag.String("submit", "", "submit the demo plan to this sweep-service URL and stream results")
+		watch      = flag.String("watch", "", "follow a sweep's stream frames from this sweep-service URL")
+		job        = flag.String("job", "", "watch: sweep id")
+		from       = flag.Int("from", 0, "watch: resume cursor (frames already seen)")
+		label      = flag.String("label", "", "submit: sweep label")
+		priority   = flag.Int("priority", 0, "submit: queue priority (higher runs first)")
+		coordinate = flag.Bool("coordinate", false, "run as one-shot coordinator over the built-in demo plan")
+		shards     = flag.Int("shards", 2, "coordinator/service: concurrent worker sessions (0 = single-process reference, no workers)")
+		chunk      = flag.Int("chunk", 2, "coordinator/service: plan points per assignment")
 		connect    = flag.String("connect", "", "coordinator: comma-separated HTTP worker URLs (default: spawn local worker processes)")
 		workerBin  = flag.String("worker-bin", "", "coordinator: worker binary to spawn (default: this binary)")
 		journal    = flag.String("journal", "", "coordinator: checkpoint journal path (resume by re-running with the same flags)")
@@ -69,30 +107,198 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var err error
 	switch {
+	case *serve != "":
+		err = runService(ctx, *serve, *state, *shards, *chunk, *maxQueued, *ttl)
+	case *submit != "":
+		err = runSubmit(ctx, *submit, *label, *priority, *instrs, *chunk)
+	case *watch != "":
+		err = runWatch(ctx, *watch, *job, *from)
 	case *coordinate:
-		if err := runCoordinator(ctx, *shards, *chunk, *connect, *workerBin, *journal, *instrs, *workers, *topk); err != nil {
-			log.Fatal(err)
-		}
+		err = runCoordinator(ctx, *shards, *chunk, *connect, *workerBin, *journal, *instrs, *workers, *topk)
 	case *listen != "":
-		wk := dist.NewWorker(*workers)
-		mux := http.NewServeMux()
-		mux.Handle("/v1/run", wk.Handler())
-		srv := &http.Server{Addr: *listen, Handler: mux}
-		go func() {
-			<-ctx.Done()
-			srv.Close()
-		}()
-		log.Printf("worker listening on %s", *listen)
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
-		}
+		err = runWorker(ctx, *listen, *register, *advertise, *workerID, *ttl, *workers)
 	default:
 		wk := dist.NewWorker(*workers)
-		if err := wk.ServeStdio(ctx, os.Stdin, os.Stdout); err != nil {
-			log.Fatal(err)
+		err = wk.ServeStdio(ctx, os.Stdin, os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runService hosts the sweep service until a signal, then drains: the HTTP
+// listener keeps serving while svc.Shutdown quiesces the scheduler (in-flight
+// ranges checkpoint, live streams get their terminal frames), and only then
+// does the listener close.
+func runService(ctx context.Context, addr, state string, shards, chunk, maxQueued int, ttl time.Duration) error {
+	if state == "" {
+		return fmt.Errorf("-serve requires -state DIR")
+	}
+	s, err := svc.New(svc.Options{
+		StateDir:    state,
+		Shards:      shards,
+		ChunkPoints: chunk,
+		MaxQueued:   maxQueued,
+		WorkerTTL:   ttl,
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sweep service on %s (state %s)", addr, state)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		s.Shutdown()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("draining: in-flight ranges will checkpoint")
+	if err := s.Shutdown(); err != nil {
+		srv.Close()
+		return err
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
+
+// runWorker serves the HTTP worker protocol, optionally self-registering with
+// a sweep service and heartbeating until shutdown.
+func runWorker(ctx context.Context, listen, register, advertise, id string, ttl time.Duration, workers int) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	wk := dist.NewWorker(workers)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/run", wk.Handler())
+	srv := &http.Server{Handler: mux}
+
+	hbCtx, hbStop := context.WithCancel(ctx)
+	defer hbStop()
+	if register != "" {
+		if advertise == "" {
+			_, port, err := net.SplitHostPort(ln.Addr().String())
+			if err != nil {
+				return fmt.Errorf("derive -advertise from %s: %w", ln.Addr(), err)
+			}
+			advertise = "http://127.0.0.1:" + port
+		}
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		cl := &svc.Client{Base: register}
+		if err := cl.Heartbeat(hbCtx, id, advertise, ttl); err != nil {
+			return fmt.Errorf("register with %s: %w", register, err)
+		}
+		log.Printf("registered as %s (%s) with %s", id, advertise, register)
+	}
+
+	go func() {
+		<-ctx.Done()
+		hbStop() // deregister before the listener dies
+		time.Sleep(50 * time.Millisecond)
+		srv.Close()
+	}()
+	log.Printf("worker listening on %s", ln.Addr())
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// demoRequest is demoPlan as a service submission: identical workloads,
+// configs, and budgets, so service-streamed rows byte-diff clean against the
+// -coordinate -shards 0 reference.
+func demoRequest(label string, priority int, instrs uint64, chunk int) svc.SubmitRequest {
+	mk := func(kind core.PrefetcherKind) core.Config {
+		c := core.DefaultConfig()
+		c.MaxInstrs = instrs
+		c.Prefetch.Kind = kind
+		return c
+	}
+	return svc.SubmitRequest{
+		Label:     label,
+		Priority:  priority,
+		Workloads: []string{"gcc", "deltablue"},
+		Configs: []svc.ConfigPoint{
+			{Name: "base", Config: mk(core.PrefetchNone)},
+			{Name: "nextline", Config: mk(core.PrefetchNextLine)},
+			{Name: "fdp", Config: mk(core.PrefetchFDP)},
+		},
+		ChunkPoints: chunk,
+	}
+}
+
+// runSubmit submits the demo plan and streams it to completion, reconnecting
+// with the frame cursor through transport drops, then prints the sorted
+// deterministic rows (stdout) and the job accounting (stderr).
+func runSubmit(ctx context.Context, base, label string, priority int, instrs uint64, chunk int) error {
+	cl := &svc.Client{Base: base}
+	st, err := cl.Submit(ctx, demoRequest(label, priority, instrs, chunk))
+	if err != nil {
+		return err
+	}
+	log.Printf("submitted %s (%d points)", st.ID, st.Points)
+
+	rows := make([]row, 0, st.Points)
+	cursor := 0
+	for attempt := 0; ; attempt++ {
+		err := cl.Stream(ctx, st.ID, cursor, func(f svc.StreamFrame) error {
+			out := f.Outcome
+			cursor = f.Seq + 1
+			r := row{Index: out.Index, Name: out.Job.Name, Result: out.Result}
+			if out.Err != nil {
+				r.Error = out.Err.Error()
+			}
+			rows = append(rows, r)
+			return nil
+		})
+		if err == nil {
+			break // terminal done frame
+		}
+		if errors.Is(err, svc.ErrSweepFailed) || ctx.Err() != nil || attempt >= 10 {
+			return err
+		}
+		log.Printf("stream dropped at frame %d (%v); resuming", cursor, err)
+		time.Sleep(200 * time.Millisecond)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			return err
 		}
 	}
+	final, err := cl.Job(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	log.Printf("%s done: %d points, %d served from cache", final.ID, final.Completed, final.Cached)
+	return nil
+}
+
+// runWatch follows one sweep's stream frames from a cursor, printing them raw.
+func runWatch(ctx context.Context, base, id string, from int) error {
+	if id == "" {
+		return fmt.Errorf("-watch requires -job ID")
+	}
+	cl := &svc.Client{Base: base}
+	enc := json.NewEncoder(os.Stdout)
+	return cl.Stream(ctx, id, from, func(f svc.StreamFrame) error {
+		return enc.Encode(f)
+	})
 }
 
 // demoPlan is the built-in smoke sweep: two workloads by three prefetch
@@ -117,7 +323,8 @@ func demoPlan(instrs uint64) *engine.Plan {
 
 // row is one output line: only fields that are deterministic functions of
 // the plan point (no wall times, no cache flags), so two runs of the same
-// plan — sharded or not, resumed or not — diff byte-identically.
+// plan — sharded or not, resumed or not, service-streamed or not — diff
+// byte-identically.
 type row struct {
 	Index  int         `json:"index"`
 	Name   string      `json:"name"`

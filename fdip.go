@@ -66,8 +66,17 @@
 //	for out, err := range coord.Stream(ctx, plan) { ... }
 //
 // For spaces too large to collect at all, mergeable reducers (DistSummary:
-// online moments plus fixed-memory top-k/bottom-k) fold each shard locally
-// and merge to exactly the single-pass summary.
+// online moments, a fixed-bucket histogram sketch, and fixed-memory
+// top-k/bottom-k) fold each shard locally and merge to exactly the
+// single-pass summary.
+//
+// Above the coordinator sits the sweep service (SweepServer; fdipd -serve):
+// a long-running daemon with a persistent priority job queue, a shared
+// fingerprint-keyed result cache (JobKey) that serves overlapping
+// submissions without re-execution, NDJSON streaming endpoints with
+// cursor-based reconnect, and worker self-registration with heartbeats
+// (DistRegistry) — all preserving the same bit-identity contract through
+// worker kills, client disconnects, and service restarts.
 //
 // Progress streams as typed events (WithProgress), runs honour context
 // cancellation and deadlines, and failures return as errors. See
@@ -77,6 +86,7 @@ package fdip
 import (
 	"context"
 	"io"
+	"time"
 
 	"fdip/internal/core"
 	"fdip/internal/dist"
@@ -85,6 +95,7 @@ import (
 	"fdip/internal/prefetch"
 	"fdip/internal/program"
 	"fdip/internal/stats"
+	"fdip/internal/svc"
 	"fdip/internal/trace"
 	"fdip/internal/workloads"
 )
@@ -235,17 +246,78 @@ type (
 	DistHTTP     = dist.HTTP
 	// DistMetric projects an outcome to the scalar a DistSummary reduces.
 	DistMetric = dist.Metric
-	// DistSummary is the mergeable sweep reduction: online moments plus
-	// fixed-memory top-k/bottom-k extremes, shard-mergeable with results
-	// identical to a single sequential pass.
+	// DistSummary is the mergeable sweep reduction: online moments, a
+	// fixed-bucket histogram sketch, and fixed-memory top-k/bottom-k
+	// extremes, shard-mergeable with results identical to a single
+	// sequential pass.
 	DistSummary = dist.Summary
+	// DistRegistry is the dynamic session pool: workers self-register (and
+	// heartbeat) instead of arriving via static dialer lists; dead workers
+	// are evicted so retries land elsewhere.
+	DistRegistry = dist.Registry
+	// DistWorkerInfo describes one registered worker.
+	DistWorkerInfo = dist.WorkerInfo
+	// DistCache is the coordinator's cross-sweep result-cache hook, keyed
+	// on JobKey.
+	DistCache = dist.Cache
+	// JobKey is a job's exported simulation identity — equal keys are
+	// bit-identical results (the memo/cache/fingerprint key).
+	JobKey = engine.JobKey
 	// Moments is the mergeable online mean/variance accumulator.
 	Moments = stats.Moments
+	// HistogramSketch is the mergeable fixed-bucket histogram reducer.
+	HistogramSketch = stats.HistogramSketch
 	// JobTopK retains the k best (or worst) scored jobs of a stream in
 	// O(k) memory, mergeable across shards; ScoredJob is one entry.
 	JobTopK   = stats.TopK[engine.Job]
 	ScoredJob = stats.ScoredItem[engine.Job]
 )
+
+// ErrDistQuiesced wraps the terminal stream error after a graceful
+// coordinator drain (DistOptions.Quiesce).
+var ErrDistQuiesced = dist.ErrQuiesced
+
+// ResolveJob resolves a job exactly as the engine would (name, seed, config
+// defaults, optional instruction-budget override) and returns its JobKey.
+func ResolveJob(job Job, instrs uint64) (Job, JobKey, error) {
+	return engine.ResolveJob(job, instrs)
+}
+
+// NewDistRegistry builds a worker registry whose registrations expire ttl
+// after their last heartbeat (0 = 15s).
+func NewDistRegistry(ttl time.Duration) *DistRegistry { return dist.NewRegistry(ttl) }
+
+// Sweep-service API (the svc subsystem; fdipd -serve/-register/-submit/-watch
+// are its daemon and clients).
+type (
+	// SweepServer is the service: persistent priority queue, shared result
+	// cache, streaming endpoints, self-registering workers.
+	SweepServer = svc.Server
+	// SweepServerOptions configures New: state directory, shard fan-out,
+	// queue bound, worker TTL.
+	SweepServerOptions = svc.Options
+	// SweepRequest describes one submission (workloads x named configs).
+	SweepRequest = svc.SubmitRequest
+	// SweepConfigPoint is one named machine configuration of a request.
+	SweepConfigPoint = svc.ConfigPoint
+	// SweepJobStatus is a submission's externally visible state, including
+	// the cache-served point accounting.
+	SweepJobStatus = svc.JobStatus
+	// SweepStreamFrame is one NDJSON stream record (outcome/done/error),
+	// carrying the reconnect cursor.
+	SweepStreamFrame = svc.StreamFrame
+	// SweepClient talks to a sweep service over HTTP: submit, status,
+	// stream (with cursor resume), and worker registration/heartbeat.
+	SweepClient = svc.Client
+)
+
+// ErrSweepQueueFull reports submission backpressure (HTTP 429).
+var ErrSweepQueueFull = svc.ErrQueueFull
+
+// NewSweepServer opens (or restores) service state under opts.StateDir and
+// starts the scheduler; mount Handler on an HTTP server and Shutdown to
+// drain gracefully.
+func NewSweepServer(opts SweepServerOptions) (*SweepServer, error) { return svc.New(opts) }
 
 // NewDistCoordinator builds a sharding coordinator; zero options default
 // (1 shard, 32-point chunks, 2 retries, no journal).
@@ -399,4 +471,4 @@ func ReplayTrace(r io.Reader, cfg Config) (Result, error) {
 }
 
 // Version identifies the library release.
-const Version = "3.2.0"
+const Version = "3.3.0"

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"iter"
@@ -31,7 +32,37 @@ type Options struct {
 	// MaxRetries bounds how many times a range is re-dialed and re-run
 	// after its session fails (0 = default 2; negative = never retry).
 	MaxRetries int
+	// Cache, when non-nil, is a cross-sweep result cache keyed on the
+	// engine's exported memo identity (engine.JobKey). Before a range is
+	// shipped, each of its jobs is looked up; hits are served without worker
+	// execution (re-tagged to this sweep's index and name, Cached=true) and
+	// only the misses travel, as a sparse assignment. Fresh successful
+	// outcomes — and journal-replayed ones — are written back, so sweeps
+	// sharing the cache share completed points. The cache must be safe for
+	// concurrent use.
+	Cache Cache
+	// Quiesce, when non-nil, is the graceful-drain signal: once it is
+	// closed, the coordinator stops dispatching new ranges, lets in-flight
+	// ranges complete (journaled and yielded as usual), and then ends the
+	// stream with a terminal error wrapping ErrQuiesced. Paired with a
+	// journal this is a clean checkpointed shutdown: re-running the sweep
+	// resumes exactly after the drained ranges.
+	Quiesce <-chan struct{}
 }
+
+// Cache is the coordinator's result-cache hook: a fingerprint-keyed store
+// shared across sweeps (and, behind a service, across clients). Get returns
+// a previously Put outcome for the exact simulation identity; implementations
+// must be safe for concurrent use. Only successful outcomes are ever Put.
+type Cache interface {
+	Get(key engine.JobKey) (engine.RunOutcome, bool)
+	Put(key engine.JobKey, out engine.RunOutcome)
+}
+
+// ErrQuiesced is wrapped by the terminal stream error after a graceful drain
+// (Options.Quiesce): every range dispatched before the drain was delivered
+// and journaled; the wrapped error just reports the sweep is unfinished.
+var ErrQuiesced = errors.New("dist: coordinator quiesced")
 
 // Coordinator shards plans across worker sessions and merges the shard
 // streams back into the engine.Stream contract. Its Stream method satisfies
@@ -120,6 +151,18 @@ func (c *Coordinator) Stream(ctx context.Context, p *engine.Plan) iter.Seq2[engi
 			defer jr.Close()
 		}
 
+		// A journal primes the shared result cache before anything replays:
+		// ranges completed by a previous run are proven results for their
+		// simulation identities, and a service restart re-warms its cache
+		// from them.
+		if c.opts.Cache != nil {
+			for _, outs := range completed {
+				for _, out := range outs {
+					c.primeCache(out)
+				}
+			}
+		}
+
 		// Replay journaled ranges before executing anything: the resumed
 		// stream is indistinguishable from a slow first run.
 		starts := make([]int, 0, len(completed))
@@ -183,6 +226,10 @@ func (c *Coordinator) Stream(ctx context.Context, p *engine.Plan) iter.Seq2[engi
 				case work <- Assignment{Start: start, Jobs: jobs, Instrs: c.opts.Instrs}:
 				case <-ctx.Done():
 					return
+				case <-c.opts.Quiesce:
+					// Graceful drain: stop handing out ranges; closing work
+					// lets the shard loops finish what they hold and exit.
+					return
 				}
 			}
 		}()
@@ -213,10 +260,14 @@ func (c *Coordinator) Stream(ctx context.Context, p *engine.Plan) iter.Seq2[engi
 			d, ok := <-deliveries
 			if !ok {
 				// Every shard exited with ranges outstanding: the context
-				// died (shards report their own terminal errors otherwise).
-				if err := parent.Err(); err != nil {
-					yield(engine.RunOutcome{}, err)
-				} else {
+				// died, or a graceful drain stopped dispatch (shards report
+				// their own terminal errors otherwise).
+				switch {
+				case parent.Err() != nil:
+					yield(engine.RunOutcome{}, parent.Err())
+				case quiesced(c.opts.Quiesce):
+					yield(engine.RunOutcome{}, fmt.Errorf("%w: %d ranges not dispatched", ErrQuiesced, remaining))
+				default:
 					yield(engine.RunOutcome{}, fmt.Errorf("dist: shards exited with %d ranges outstanding", remaining))
 				}
 				return
@@ -300,13 +351,96 @@ func (c *Coordinator) shardLoop(ctx context.Context, work <-chan Assignment, del
 	}
 }
 
-// runRange executes one assignment, re-dialing and re-running on a fresh
-// session after failures (a dead worker's range is reassigned wholesale — a
-// range is only ever delivered complete, so a retry can never double-deliver
-// a partially-streamed range's outcomes). *sess is the shard's cached
-// session: nil-on-entry means dial, and a failed session is closed and
-// nilled so the next attempt (or assignment) starts clean.
+// quiesced reports whether a (possibly nil) quiesce channel has fired.
+func quiesced(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// primeCache writes one journal-replayed outcome into the shared result
+// cache (successes only; an unresolvable job is simply not cacheable).
+func (c *Coordinator) primeCache(out engine.RunOutcome) {
+	if out.Err != nil {
+		return
+	}
+	if _, key, err := engine.ResolveJob(out.Job, c.opts.Instrs); err == nil {
+		c.opts.Cache.Put(key, out)
+	}
+}
+
+// runRange obtains one range's outcomes: served from the shared result
+// cache where possible, executed on a worker otherwise. Without a cache it
+// is exactly execRange.
 func (c *Coordinator) runRange(ctx context.Context, sess *Session, a Assignment) ([]engine.RunOutcome, error) {
+	if c.opts.Cache == nil {
+		return c.execRange(ctx, sess, a)
+	}
+	// Split the range on the cache: hits fill their slots directly
+	// (re-tagged to this sweep's index and display name), misses ship as a
+	// sparse assignment carrying their global indices. A fully cached range
+	// never dials a worker at all, which is what lets a second, overlapping
+	// sweep complete even with zero live workers.
+	outs := make([]engine.RunOutcome, len(a.Jobs))
+	keys := make([]engine.JobKey, len(a.Jobs))
+	keyed := make([]bool, len(a.Jobs))
+	var missJobs []engine.Job
+	var missIdx, missSlot []int
+	for i, job := range a.Jobs {
+		gi := a.globalIndex(i)
+		rj, key, err := engine.ResolveJob(job, a.Instrs)
+		if err == nil {
+			keys[i], keyed[i] = key, true
+			if hit, ok := c.opts.Cache.Get(key); ok {
+				hit.Job = rj
+				hit.Index = gi
+				hit.Cached = true
+				hit.Elapsed = 0
+				hit.CyclesPerSec = 0
+				outs[i] = hit
+				continue
+			}
+		}
+		// Unresolvable jobs travel too, so their failure outcomes are
+		// produced by the same worker path a cacheless run takes.
+		missJobs = append(missJobs, job)
+		missIdx = append(missIdx, gi)
+		missSlot = append(missSlot, i)
+	}
+	if len(missJobs) > 0 {
+		sub := Assignment{Start: a.Start, Jobs: missJobs, Indices: missIdx, Instrs: a.Instrs}
+		fresh, err := c.execRange(ctx, sess, sub)
+		if err != nil {
+			return nil, err
+		}
+		slotByGlobal := make(map[int]int, len(missIdx))
+		for j, gi := range missIdx {
+			slotByGlobal[gi] = missSlot[j]
+		}
+		for _, out := range fresh {
+			slot := slotByGlobal[out.Index]
+			outs[slot] = out
+			if keyed[slot] && out.Err == nil {
+				c.opts.Cache.Put(keys[slot], out)
+			}
+		}
+	}
+	return outs, nil
+}
+
+// execRange executes one assignment on a worker, re-dialing and re-running
+// on a fresh session after failures (a dead worker's range is reassigned
+// wholesale — a range is only ever delivered complete, so a retry can never
+// double-deliver a partially-streamed range's outcomes). *sess is the
+// shard's cached session: nil-on-entry means dial, and a failed session is
+// closed and nilled so the next attempt (or assignment) starts clean.
+func (c *Coordinator) execRange(ctx context.Context, sess *Session, a Assignment) ([]engine.RunOutcome, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -332,15 +466,28 @@ func (c *Coordinator) runRange(ctx context.Context, sess *Session, a Assignment)
 }
 
 // runOnce runs one assignment on one session, buffering and validating the
-// range: every index in [Start, End), each exactly once, nothing outside.
+// range: every carried index (contiguous [Start, End) in the dense form, the
+// Indices table in the sparse one), each exactly once, nothing outside.
 // Buffering is what makes retry safe — a range either delivers whole or
 // contributes nothing.
 func runOnce(ctx context.Context, sess Session, a Assignment) ([]engine.RunOutcome, error) {
 	outs := make([]engine.RunOutcome, 0, len(a.Jobs))
 	seen := make([]bool, len(a.Jobs))
+	slotOf := func(global int) int {
+		if a.Indices == nil {
+			if i := global - a.Start; i >= 0 && i < len(a.Jobs) {
+				return i
+			}
+			return -1
+		}
+		if i := sort.SearchInts(a.Indices, global); i < len(a.Indices) && a.Indices[i] == global {
+			return i
+		}
+		return -1
+	}
 	err := sess.Run(ctx, a, func(out engine.RunOutcome) error {
-		i := out.Index - a.Start
-		if i < 0 || i >= len(a.Jobs) {
+		i := slotOf(out.Index)
+		if i < 0 {
 			return fmt.Errorf("dist: worker emitted index %d outside range [%d,%d)", out.Index, a.Start, a.End())
 		}
 		if seen[i] {

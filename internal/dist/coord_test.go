@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -352,6 +353,12 @@ func TestSummaryShardMergeMatchesSequential(t *testing.T) {
 				t.Errorf("shards=%d: merged %s=%v outside observed range [%v, %v]",
 					shards, name, v, q.Min(), q.Max())
 			}
+		}
+		// Histogram leg: integer counts over fixed geometry merge exactly, so
+		// the sharded sketch must be bit-identical to the sequential one.
+		if !reflect.DeepEqual(merged.Hist, seq.Hist) {
+			t.Errorf("shards=%d: merged histogram diverges from sequential pass:\n%v\nwant\n%v",
+				shards, merged.Hist, seq.Hist)
 		}
 		for name, pair := range map[string][2][]stats.ScoredItem[engine.Job]{
 			"top":    {merged.Top.Items(), seq.Top.Items()},

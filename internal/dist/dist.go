@@ -24,23 +24,45 @@ import (
 	"fdip/internal/engine"
 )
 
-// Assignment is one unit of distributed work: a contiguous range of a plan's
+// Assignment is one unit of distributed work: a range of a plan's
 // enumeration order, shipped as resolved jobs (a Plan itself — closures over
-// axes — cannot cross a process boundary). Jobs[i] is enumeration index
-// Start+i; workers re-tag outcome indices into the global space.
+// axes — cannot cross a process boundary). In the common dense form Jobs[i]
+// is enumeration index Start+i; a sparse assignment (Indices set) carries an
+// explicit global index per job, which is how a coordinator with a result
+// cache ships only a range's cache misses. Workers re-tag outcome indices
+// into the global space either way.
 type Assignment struct {
-	// Start is the enumeration index of Jobs[0].
+	// Start is the enumeration index of Jobs[0] (dense form), and the range
+	// identity journals and retries key on in both forms.
 	Start int `json:"start"`
 	// Jobs are the range's resolved simulation points, in enumeration order.
 	Jobs []engine.Job `json:"jobs"`
+	// Indices, when set, gives Jobs[i] the global enumeration index
+	// Indices[i] (sparse form; len must equal len(Jobs), ascending). Nil
+	// means the dense contiguous interpretation.
+	Indices []int `json:"indices,omitempty"`
 	// Instrs, when non-zero, is the committed-instruction budget the worker
 	// applies to every job (engine.WithInstrBudget); zero leaves each job's
 	// own config untouched.
 	Instrs uint64 `json:"instrs,omitempty"`
 }
 
-// End returns the exclusive end index of the range.
-func (a Assignment) End() int { return a.Start + len(a.Jobs) }
+// End returns the exclusive end index of the range (one past the last
+// carried job's global index).
+func (a Assignment) End() int {
+	if len(a.Indices) > 0 {
+		return a.Indices[len(a.Indices)-1] + 1
+	}
+	return a.Start + len(a.Jobs)
+}
+
+// globalIndex returns Jobs[i]'s index in the plan's enumeration space.
+func (a Assignment) globalIndex(i int) int {
+	if a.Indices != nil {
+		return a.Indices[i]
+	}
+	return a.Start + i
+}
 
 // Session is one live worker connection. Run executes one assignment,
 // calling emit for every outcome of the range (in the worker's completion

@@ -38,12 +38,26 @@ type Summary struct {
 	// approximately: a sharded reduction's quantiles track, but are not
 	// bit-identical to, the sequential pass (min/max and count stay exact).
 	P50, P90 *stats.P2Quantile
+	// Hist is the metric's fixed-bucket value distribution
+	// (stats.HistogramSketch). Integer counts over a geometry fixed at
+	// construction merge exactly, so the sharded histogram is bit-identical
+	// to the sequential pass. The default geometry (histBuckets buckets over
+	// [0, histHi)) suits IPC-scaled metrics; out-of-range values land in the
+	// under/overflow counters rather than being lost.
+	Hist *stats.HistogramSketch
 	// Failures counts outcomes that carried an error (excluded from the
 	// metric's moments and extremes).
 	Failures int
 
 	metric Metric
 }
+
+// Default histogram geometry: every shard of one reduction must build the
+// same sketch, so NewSummary fixes it rather than inferring it from data.
+const (
+	histHi      = 8.0
+	histBuckets = 32
+)
 
 // NewSummary builds a summary over metric, retaining k extremes each way.
 func NewSummary(name string, k int, metric Metric) *Summary {
@@ -53,6 +67,7 @@ func NewSummary(name string, k int, metric Metric) *Summary {
 		Bottom:     stats.NewBottomK[engine.Job](k),
 		P50:        stats.NewP2Quantile(0.5),
 		P90:        stats.NewP2Quantile(0.9),
+		Hist:       stats.NewHistogramSketch(0, histHi, histBuckets),
 		metric:     metric,
 	}
 }
@@ -69,6 +84,7 @@ func (s *Summary) Observe(out engine.RunOutcome) {
 	s.Bottom.Add(v, int64(out.Index), out.Job)
 	s.P50.Add(v)
 	s.P90.Add(v)
+	s.Hist.Add(v)
 }
 
 // Merge folds another shard's summary into s.
@@ -78,6 +94,7 @@ func (s *Summary) Merge(o *Summary) {
 	s.Bottom.Merge(o.Bottom)
 	s.P50.Merge(o.P50)
 	s.P90.Merge(o.P90)
+	s.Hist.Merge(o.Hist)
 	s.Failures += o.Failures
 }
 
@@ -92,5 +109,6 @@ func (s *Summary) String() string {
 	for _, it := range s.Bottom.Items() {
 		out += fmt.Sprintf("\n  bottom %-40s %.4f", it.Value.Name, it.Score)
 	}
+	out += "\n  " + s.Hist.String()
 	return out
 }

@@ -54,16 +54,20 @@ func (w *Worker) engineFor(instrs uint64) *engine.Engine {
 }
 
 // Run executes one assignment, emitting each outcome (completion order,
-// indices re-tagged from range-local to the plan's global enumeration space).
-// Per-job failures are outcomes with Err set; the returned error is
-// assignment-terminal (a stream-level engine failure or an emit failure).
+// indices re-tagged from range-local to the plan's global enumeration space
+// — dense offset or the sparse Indices table). Per-job failures are outcomes
+// with Err set; the returned error is assignment-terminal (a malformed
+// assignment, a stream-level engine failure, or an emit failure).
 func (w *Worker) Run(ctx context.Context, a Assignment, emit func(engine.RunOutcome) error) error {
+	if a.Indices != nil && len(a.Indices) != len(a.Jobs) {
+		return fmt.Errorf("dist: worker: sparse assignment with %d indices for %d jobs", len(a.Indices), len(a.Jobs))
+	}
 	eng := w.engineFor(a.Instrs)
 	for out, err := range eng.StreamJobs(ctx, a.Jobs) {
 		if err != nil {
 			return err
 		}
-		out.Index += a.Start
+		out.Index = a.globalIndex(out.Index)
 		if err := emit(out); err != nil {
 			return err
 		}

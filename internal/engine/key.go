@@ -1,0 +1,41 @@
+package engine
+
+// JobKey is the exported form of the engine's memo identity: an opaque,
+// comparable value that is equal for two jobs exactly when the engine would
+// memoise them together. The key covers the generated program's parameters
+// (the workload identity, not its display name), the fully validated machine
+// configuration, and the oracle seed — and nothing else. Display names,
+// plan labels, and enumeration indices never participate, so two sweeps
+// whose labels collide cannot share entries unless their resolved simulation
+// points are genuinely identical, and two sweeps that label the same point
+// differently always do.
+//
+// JobKey is what cross-sweep result caches key on (dist.Cache, the svc
+// service's shared cache): a layer above the engine can prove "this exact
+// simulation already ran" without re-running it.
+type JobKey struct {
+	key resultKey
+}
+
+// ResolveJob resolves a job exactly as the engine's executor does — display
+// name and seed defaulted from the workload registry, configuration
+// normalised under the given engine-wide instruction budget (0 leaves the
+// job's own budget in place) and validated — and returns the resolved job
+// alongside its memo identity. The returned job carries the resolved Name
+// and Seed with the job's original Config; the key holds the validated
+// configuration the simulation would actually run.
+func ResolveJob(job Job, instrs uint64) (Job, JobKey, error) {
+	job, params, err := resolve(job)
+	if err != nil {
+		return job, JobKey{}, err
+	}
+	cfg := job.Config
+	if instrs != 0 {
+		cfg.MaxInstrs = instrs
+		cfg.MaxCycles = 0 // re-derive from MaxInstrs, as Engine.normalise does
+	}
+	if err := cfg.Validate(); err != nil {
+		return job, JobKey{}, err
+	}
+	return job, JobKey{key: resultKey{params: params, cfg: cfg, seed: job.Seed}}, nil
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// HistogramSketch is the mergeable fixed-bucket histogram reducer: n equal
+// buckets over [Lo, Hi), plus under- and overflow counters. Because the
+// geometry is fixed at construction and the state is integer counts, Merge is
+// exact — a sharded reduction's histogram is bit-identical to a single
+// sequential pass over the concatenated stream, in any merge order. That is
+// the same discipline as Moments/TopK, and what lets dist.Summary carry a
+// value distribution per shard without anyone holding the sample set.
+//
+// All shards of one reduction must construct the sketch with identical
+// (Lo, Hi, buckets); Merge panics on a geometry mismatch rather than
+// silently mixing incompatible bucketings. NaN observations are ignored.
+type HistogramSketch struct {
+	// Lo (inclusive) and Hi (exclusive) bound the bucketed range.
+	Lo, Hi float64
+	// Counts[i] counts observations in [Lo + i*w, Lo + (i+1)*w), where
+	// w = (Hi-Lo)/len(Counts).
+	Counts []uint64
+	// Under counts observations below Lo; Over counts those at or above Hi.
+	Under, Over uint64
+}
+
+// NewHistogramSketch builds a sketch of n equal buckets over [lo, hi).
+// It panics on a degenerate geometry (n <= 0 or hi <= lo).
+func NewHistogramSketch(lo, hi float64, n int) *HistogramSketch {
+	if n <= 0 || !(hi > lo) {
+		panic(fmt.Sprintf("stats: HistogramSketch geometry [%g,%g)/%d is degenerate", lo, hi, n))
+	}
+	return &HistogramSketch{Lo: lo, Hi: hi, Counts: make([]uint64, n)}
+}
+
+// Add folds one observation. NaN is ignored.
+func (h *HistogramSketch) Add(x float64) {
+	switch {
+	case math.IsNaN(x):
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		// Guard the float boundary: x just under Hi can round the scaled
+		// index up to len(Counts).
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Count returns the total number of folded observations, including under-
+// and overflow.
+func (h *HistogramSketch) Count() uint64 {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BucketBounds returns bucket i's [lo, hi) range.
+func (h *HistogramSketch) BucketBounds(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// Merge folds another shard's sketch into h, as if every observation o saw
+// had been Added to h. The geometries must match exactly.
+func (h *HistogramSketch) Merge(o *HistogramSketch) {
+	if o == nil {
+		return
+	}
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Counts) != len(h.Counts) {
+		panic(fmt.Sprintf("stats: merging HistogramSketch [%g,%g)/%d into [%g,%g)/%d",
+			o.Lo, o.Hi, len(o.Counts), h.Lo, h.Hi, len(h.Counts)))
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+}
+
+// String renders the non-empty buckets compactly:
+// "hist[0,8)/32: <1 [0.25,0.5):3 ... >=8:2".
+func (h *HistogramSketch) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist[%g,%g)/%d:", h.Lo, h.Hi, len(h.Counts))
+	empty := true
+	if h.Under > 0 {
+		fmt.Fprintf(&b, " <%g:%d", h.Lo, h.Under)
+		empty = false
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.BucketBounds(i)
+		fmt.Fprintf(&b, " [%.3g,%.3g):%d", lo, hi, c)
+		empty = false
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, " >=%g:%d", h.Hi, h.Over)
+		empty = false
+	}
+	if empty {
+		b.WriteString(" empty")
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// exactBuckets computes the sketch a sequential pass over xs must produce,
+// by the bucket formula directly — the pin every shard-merge is held to.
+func exactBuckets(lo, hi float64, n int, xs []float64) *HistogramSketch {
+	h := NewHistogramSketch(lo, hi, n)
+	for _, x := range xs {
+		switch {
+		case math.IsNaN(x):
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			i := int(float64(n) * (x - lo) / (hi - lo))
+			if i >= n {
+				i = n - 1
+			}
+			h.Counts[i]++
+		}
+	}
+	return h
+}
+
+// TestHistogramSketchShardMergeExact pins shard merging against exact
+// collection on small grids: any sharding, merged in any order, must equal
+// the sequential pass bit-for-bit.
+func TestHistogramSketchShardMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Spread across the range, below it, and above it.
+			xs[i] = -1 + 10*rng.Float64()
+		}
+		want := exactBuckets(0, 8, 16, xs)
+
+		seq := NewHistogramSketch(0, 8, 16)
+		for _, x := range xs {
+			seq.Add(x)
+		}
+		if !reflect.DeepEqual(seq, want) {
+			t.Fatalf("trial %d: sequential Add disagrees with the exact bucket formula:\n%v\nwant\n%v", trial, seq, want)
+		}
+
+		shards := 1 + rng.Intn(5)
+		parts := make([]*HistogramSketch, shards)
+		for i := range parts {
+			parts[i] = NewHistogramSketch(0, 8, 16)
+		}
+		for i, x := range xs {
+			parts[rng.Intn(shards)%shards].Add(x)
+			_ = i
+		}
+		// Merge in a random order.
+		merged := NewHistogramSketch(0, 8, 16)
+		for _, i := range rng.Perm(shards) {
+			merged.Merge(parts[i])
+		}
+		if !reflect.DeepEqual(merged, want) {
+			t.Fatalf("trial %d (%d shards): merged sketch diverges from sequential pass:\n%v\nwant\n%v", trial, shards, merged, want)
+		}
+	}
+}
+
+// TestHistogramSketchBoundaries pins the edge semantics: Lo is inclusive, Hi
+// exclusive, values just under Hi land in the last bucket, NaN is dropped.
+func TestHistogramSketchBoundaries(t *testing.T) {
+	h := NewHistogramSketch(0, 4, 4)
+	h.Add(0)                    // first bucket, inclusive
+	h.Add(math.Nextafter(4, 0)) // last bucket, despite float rounding
+	h.Add(4)                    // Over, exclusive
+	h.Add(-0.001)               // Under
+	h.Add(math.NaN())           // dropped
+	if got := h.Counts[0]; got != 1 {
+		t.Errorf("Lo-inclusive value: bucket0=%d, want 1", got)
+	}
+	if got := h.Counts[3]; got != 1 {
+		t.Errorf("just-under-Hi value: bucket3=%d, want 1", got)
+	}
+	if h.Over != 1 || h.Under != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.Under, h.Over)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count()=%d, want 4 (NaN dropped)", got)
+	}
+}
+
+// TestHistogramSketchMergeGeometryMismatchPanics: silently mixing
+// incompatible bucketings would corrupt the reduction, so it must refuse.
+func TestHistogramSketchMergeGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("geometry-mismatched Merge did not panic")
+		}
+	}()
+	NewHistogramSketch(0, 8, 16).Merge(NewHistogramSketch(0, 8, 8))
+}
+
+// TestHistogramSketchMergeAfterMerge: a merged sketch stays a live
+// accumulator (add more, merge more) with the same exactness.
+func TestHistogramSketchMergeAfterMerge(t *testing.T) {
+	a := NewHistogramSketch(0, 1, 10)
+	b := NewHistogramSketch(0, 1, 10)
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i) / 10)
+	}
+	b.Merge(a)
+	b.Add(0.55)
+	c := NewHistogramSketch(0, 1, 10)
+	c.Add(0.95)
+	b.Merge(c)
+	want := exactBuckets(0, 1, 10, []float64{0, .1, .2, .3, .4, .5, .6, .7, .8, .9, .55, .95})
+	if !reflect.DeepEqual(b, want) {
+		t.Fatalf("merge-then-add-then-merge diverged:\n%v\nwant\n%v", b, want)
+	}
+}

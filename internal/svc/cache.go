@@ -1,0 +1,44 @@
+package svc
+
+import (
+	"sync"
+
+	"fdip/internal/engine"
+)
+
+// resultCache is the service's shared result store: one map over the engine's
+// exported simulation identity (engine.JobKey), written by every sweep and
+// read by every later one. It implements dist.Cache.
+//
+// Entries are immutable once written — a key fully determines its result, so
+// a second Put for a key is by definition the same result and is kept (the
+// coordinator only ever Puts successes). The cache is unbounded: a result is
+// a few hundred bytes of counters and the service's whole point is reuse.
+type resultCache struct {
+	mu sync.RWMutex
+	m  map[engine.JobKey]engine.RunOutcome
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{m: make(map[engine.JobKey]engine.RunOutcome)}
+}
+
+func (c *resultCache) Get(key engine.JobKey) (engine.RunOutcome, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out, ok := c.m[key]
+	return out, ok
+}
+
+func (c *resultCache) Put(key engine.JobKey, out engine.RunOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = out
+}
+
+// Len reports the number of distinct cached simulation identities.
+func (c *resultCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

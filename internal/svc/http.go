@@ -1,0 +1,130 @@
+package svc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The service HTTP API, all JSON:
+//
+//	POST   /v1/workers/register    {id, url, ttl_seconds}  register/heartbeat
+//	POST   /v1/workers/deregister  {id}                    clean worker exit
+//	GET    /v1/workers                                     live pool snapshot
+//	POST   /v1/jobs                SubmitRequest           -> 202 JobStatus
+//	                                                          429 queue full
+//	GET    /v1/jobs                                        all JobStatus
+//	GET    /v1/jobs/{id}                                   one JobStatus
+//	GET    /v1/jobs/{id}/stream?from=N                     NDJSON StreamFrames
+//
+// Workers themselves serve the dist run endpoint; the service only tracks
+// their addresses. Streams flush per frame and honour from=N so a client that
+// saw n frames reconnects with from=n and misses nothing.
+
+// registerRequest is the worker announcement body.
+type registerRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// TTLSeconds overrides the service's heartbeat budget for this worker
+	// (0 = service default).
+	TTLSeconds int `json:"ttl_seconds,omitempty"`
+}
+
+// Handler mounts the service API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/workers/register", func(w http.ResponseWriter, r *http.Request) {
+		var req registerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" || req.URL == "" {
+			http.Error(w, "svc: register body must carry id and url", http.StatusBadRequest)
+			return
+		}
+		s.reg.Register(req.ID, req.URL, time.Duration(req.TTLSeconds)*time.Second)
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/workers/deregister", func(w http.ResponseWriter, r *http.Request) {
+		var req registerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
+			http.Error(w, "svc: deregister body must carry id", http.StatusBadRequest)
+			return
+		}
+		s.reg.Deregister(req.ID)
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.reg.Live())
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "svc: body must be a SubmitRequest", http.StatusBadRequest)
+			return
+		}
+		st, err := s.Submit(req)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "svc: unknown job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := s.Job(id); !ok {
+			http.Error(w, "svc: unknown job", http.StatusNotFound)
+			return
+		}
+		from := 0
+		if q := r.URL.Query().Get("from"); q != "" {
+			if _, err := fmt.Sscanf(q, "%d", &from); err != nil || from < 0 {
+				http.Error(w, "svc: from must be a non-negative frame index", http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		fl, _ := w.(http.Flusher)
+		err := s.Stream(r.Context(), id, from, func(f StreamFrame) error {
+			if err := enc.Encode(f); err != nil {
+				return err
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			return nil
+		})
+		// The stream body already carried its terminal frame (or the client
+		// went away); status is committed, nothing useful left to send.
+		_ = err
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

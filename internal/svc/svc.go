@@ -1,0 +1,572 @@
+// Package svc is the fdipd sweep service: a long-running coordinator process
+// that accepts Plan submissions from many clients, runs them one sweep at a
+// time across a self-registering worker pool (internal/dist.Registry), and
+// streams results back over per-client NDJSON endpoints.
+//
+// The service is built from four guarantees the lower layers already prove:
+//
+//   - Persistence: submissions land in a queue journal (StateDir/queue.journal)
+//     before they are acknowledged, and every sweep runs under its own dist
+//     checkpoint journal — a service restart re-queues unfinished sweeps and
+//     resumes them from their last committed range.
+//   - Shared results: one fingerprint-keyed cache (engine.JobKey) spans all
+//     sweeps, so a submission overlapping any earlier one — including ones
+//     completed before a restart, re-warmed from their journals — ships only
+//     its genuinely new points to workers.
+//   - Bit-identity: streamed outcomes are exactly the single-process
+//     engine.Stream outcomes, whatever mix of worker kills, cache hits,
+//     journal replays, and client reconnects produced them.
+//   - Graceful drain: quiescing the service stops dispatch, lets in-flight
+//     ranges journal, and re-queues interrupted sweeps rather than failing
+//     them — a SIGINT'd fdipd -serve restarts where it left off.
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"fdip/internal/core"
+	"fdip/internal/dist"
+	"fdip/internal/engine"
+)
+
+// Options configures a Server.
+type Options struct {
+	// StateDir holds the queue journal and per-sweep checkpoint journals
+	// (required; created if absent).
+	StateDir string
+	// Shards is the per-sweep worker-session fan-out (default 4).
+	Shards int
+	// ChunkPoints is the default assignment granularity for submissions that
+	// don't set their own (default 8).
+	ChunkPoints int
+	// MaxQueued bounds queued+running sweeps; further submissions fail with
+	// ErrQueueFull (HTTP 429) until the backlog drains (default 16).
+	MaxQueued int
+	// MaxRetries is each range's re-dial budget (default 4 — a service pool
+	// churns more than a static dialer list).
+	MaxRetries int
+	// WorkerTTL is the registry heartbeat budget (default 15s).
+	WorkerTTL time.Duration
+}
+
+// ErrQueueFull rejects submissions when the backlog is at MaxQueued.
+var ErrQueueFull = errors.New("svc: queue full")
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// SubmitRequest describes one sweep: a cross product of workloads and named
+// configurations — the wire form of engine.NewPlan(...).OverNames(...).Axes
+// (Plans themselves are closures and cannot cross a process boundary).
+type SubmitRequest struct {
+	// Label names the sweep in listings (defaulted to its id).
+	Label string `json:"label,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a level.
+	Priority int `json:"priority,omitempty"`
+	// Workloads are the plan's rows (named workloads).
+	Workloads []string `json:"workloads"`
+	// Configs are the plan's columns.
+	Configs []ConfigPoint `json:"configs"`
+	// Instrs is the committed-instruction budget applied to every point
+	// (0 = each config's own limits).
+	Instrs uint64 `json:"instrs,omitempty"`
+	// ChunkPoints overrides the service's assignment granularity (0 = server
+	// default). It participates in the sweep's journal fingerprint.
+	ChunkPoints int `json:"chunk_points,omitempty"`
+}
+
+// ConfigPoint is one named machine configuration.
+type ConfigPoint struct {
+	Name   string      `json:"name"`
+	Config core.Config `json:"config"`
+}
+
+// plan rebuilds the engine Plan a request describes.
+func (r SubmitRequest) plan() (*engine.Plan, error) {
+	if len(r.Workloads) == 0 || len(r.Configs) == 0 {
+		return nil, fmt.Errorf("svc: a submission needs at least one workload and one config")
+	}
+	pts := make([]engine.NamedConfig, len(r.Configs))
+	for i, c := range r.Configs {
+		pts[i] = engine.Named(c.Name, c.Config)
+	}
+	p := engine.NewPlan(core.DefaultConfig()).
+		OverNames(r.Workloads...).
+		Axes(engine.Configs(pts...))
+	return p, p.Err()
+}
+
+// JobStatus is a sweep's externally visible state.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Label    string `json:"label"`
+	State    string `json:"state"`
+	Priority int    `json:"priority"`
+	// Points is the plan size; Completed counts streamed outcomes so far;
+	// Cached counts how many of those were served from the shared result
+	// cache rather than executed by a worker — the accounting that proves
+	// overlap reuse.
+	Points    int    `json:"points"`
+	Completed int    `json:"completed"`
+	Cached    int    `json:"cached"`
+	Error     string `json:"error,omitempty"`
+	// CompletedSeq is the service-wide finish ordinal (1 = first sweep to
+	// finish since this server started; 0 = not finished) — how tests pin
+	// priority scheduling without timing.
+	CompletedSeq int `json:"completed_seq,omitempty"`
+}
+
+// sweep is one submission's full server-side state.
+type sweep struct {
+	id   string
+	seq  int // submission order, the FIFO key within a priority level
+	req  SubmitRequest
+	plan *engine.Plan
+
+	state        string
+	errMsg       string
+	buf          []engine.RunOutcome // completion-order outcomes, the stream source
+	cached       int
+	completedSeq int
+}
+
+func (sw *sweep) status() JobStatus {
+	label := sw.req.Label
+	if label == "" {
+		label = sw.id
+	}
+	return JobStatus{
+		ID:        sw.id,
+		Label:     label,
+		State:     sw.state,
+		Priority:  sw.req.Priority,
+		Points:    sw.plan.Points(),
+		Completed: len(sw.buf),
+		Cached:    sw.cached,
+		Error:     sw.errMsg,
+
+		CompletedSeq: sw.completedSeq,
+	}
+}
+
+// Server is the sweep service: queue + scheduler + registry + shared cache.
+// Create with New, mount Handler on an HTTP server, Shutdown to drain.
+type Server struct {
+	opts  Options
+	reg   *dist.Registry
+	cache *resultCache
+	queue *queueJournal
+
+	mu    sync.Mutex
+	cond  *sync.Cond // guards/announces every sweep-state and buffer change
+	jobs  map[string]*sweep
+	order []*sweep // submission order
+	seq   int      // last assigned submission ordinal
+	fin   int      // last assigned completion ordinal
+
+	quiesce   chan struct{}
+	quiesceFn sync.Once
+	schedDone chan struct{}
+}
+
+// New opens (or creates) the service state under opts.StateDir, restores the
+// queue — re-warming the shared cache and stream buffers of finished sweeps
+// from their journals, re-queuing unfinished ones — and starts the scheduler.
+func New(opts Options) (*Server, error) {
+	if opts.StateDir == "" {
+		return nil, fmt.Errorf("svc: Options.StateDir is required")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	if opts.ChunkPoints <= 0 {
+		opts.ChunkPoints = 8
+	}
+	if opts.MaxQueued <= 0 {
+		opts.MaxQueued = 16
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 4
+	}
+	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("svc: state dir: %w", err)
+	}
+	s := &Server{
+		opts:      opts,
+		reg:       dist.NewRegistry(opts.WorkerTTL),
+		cache:     newResultCache(),
+		jobs:      make(map[string]*sweep),
+		quiesce:   make(chan struct{}),
+		schedDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	q, records, err := openQueueJournal(filepath.Join(opts.StateDir, "queue.journal"))
+	if err != nil {
+		return nil, err
+	}
+	s.queue = q
+	if err := s.restore(records); err != nil {
+		q.Close()
+		return nil, err
+	}
+	go s.scheduler()
+	return s, nil
+}
+
+// Registry exposes the worker pool (the HTTP layer's register endpoint, and
+// tests).
+func (s *Server) Registry() *dist.Registry { return s.reg }
+
+// restore replays the queue journal into server state. Finished sweeps get
+// their stream buffers and the shared cache re-warmed by replaying their dist
+// journals (a pure disk read: every range is committed, so the replay
+// coordinator never dials). Unfinished sweeps — queued or mid-run at the
+// crash — go back to queued; their journals resume when the scheduler
+// reaches them.
+func (s *Server) restore(records []queueRecord) error {
+	for _, rec := range records {
+		switch rec.Op {
+		case "submit":
+			if rec.Req == nil {
+				continue
+			}
+			p, err := rec.Req.plan()
+			if err != nil {
+				continue // a poisoned historic submission must not brick restart
+			}
+			s.seq++
+			sw := &sweep{id: rec.ID, seq: s.seq, req: *rec.Req, plan: p, state: StateQueued}
+			s.jobs[rec.ID] = sw
+			s.order = append(s.order, sw)
+		case "done":
+			if sw, ok := s.jobs[rec.ID]; ok {
+				sw.state = StateDone
+			}
+		case "failed":
+			if sw, ok := s.jobs[rec.ID]; ok {
+				sw.state = StateFailed
+				sw.errMsg = rec.Error
+			}
+		}
+	}
+	for _, sw := range s.order {
+		if sw.state != StateDone {
+			continue
+		}
+		if err := s.replayFinished(sw); err != nil {
+			// A finished sweep whose journal was lost stays done but loses
+			// its replayable stream; new overlapping work simply re-executes.
+			sw.buf = nil
+		}
+	}
+	return nil
+}
+
+// replayFinished rebuilds one finished sweep's stream buffer from its dist
+// journal, priming the shared cache as a side effect (the coordinator pushes
+// every journal-replayed outcome through its cache hook).
+func (s *Server) replayFinished(sw *sweep) error {
+	journal := s.journalPath(sw.id)
+	if _, err := os.Stat(journal); err != nil {
+		return err
+	}
+	c := dist.New(dist.Options{
+		Dialer:      noDialer{},
+		Shards:      1,
+		ChunkPoints: s.chunkFor(sw),
+		Instrs:      sw.req.Instrs,
+		Journal:     journal,
+		MaxRetries:  -1,
+		Cache:       s.cache,
+	})
+	var buf []engine.RunOutcome
+	for out, err := range c.Stream(context.Background(), sw.plan) {
+		if err != nil {
+			return err
+		}
+		buf = append(buf, out)
+	}
+	sw.buf = buf
+	sw.cached = 0 // replayed outcomes were executed originally, not cache-served
+	return nil
+}
+
+// noDialer proves a replay never executes: any dial is a bug.
+type noDialer struct{}
+
+func (noDialer) Dial(ctx context.Context) (dist.Session, error) {
+	return nil, fmt.Errorf("svc: replay tried to dial a worker")
+}
+
+func (s *Server) journalPath(id string) string {
+	return filepath.Join(s.opts.StateDir, id+".journal")
+}
+
+func (s *Server) chunkFor(sw *sweep) int {
+	if sw.req.ChunkPoints > 0 {
+		return sw.req.ChunkPoints
+	}
+	return s.opts.ChunkPoints
+}
+
+// Submit validates, journals, and enqueues one sweep. The returned status is
+// the accepted job (state queued); ErrQueueFull reports backpressure.
+func (s *Server) Submit(req SubmitRequest) (JobStatus, error) {
+	p, err := req.plan()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	backlog := 0
+	for _, sw := range s.order {
+		if sw.state == StateQueued || sw.state == StateRunning {
+			backlog++
+		}
+	}
+	if backlog >= s.opts.MaxQueued {
+		return JobStatus{}, fmt.Errorf("%w: %d sweeps pending", ErrQueueFull, backlog)
+	}
+	s.seq++
+	sw := &sweep{id: fmt.Sprintf("s%06d", s.seq), seq: s.seq, req: req, plan: p, state: StateQueued}
+	// Durability precedes acknowledgement: the submission is journaled (and
+	// fsynced) before the client learns its id.
+	if err := s.queue.Append(queueRecord{Op: "submit", ID: sw.id, Req: &req}); err != nil {
+		s.seq--
+		return JobStatus{}, err
+	}
+	s.jobs[sw.id] = sw
+	s.order = append(s.order, sw)
+	s.cond.Broadcast()
+	return sw.status(), nil
+}
+
+// Job returns one sweep's status.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return sw.status(), true
+}
+
+// Jobs lists every known sweep in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.order))
+	for i, sw := range s.order {
+		out[i] = sw.status()
+	}
+	return out
+}
+
+// scheduler is the single sweep-execution loop: it drains the queue in
+// (priority desc, submission asc) order, one sweep at a time — each sweep is
+// itself sharded across the whole worker pool, so serial sweeps lose no
+// parallelism and keep the completion stream per-sweep contiguous.
+func (s *Server) scheduler() {
+	defer close(s.schedDone)
+	for {
+		sw := s.nextRunnable()
+		if sw == nil {
+			return // quiesced
+		}
+		s.runSweep(sw)
+		if quiesced(s.quiesce) {
+			return
+		}
+	}
+}
+
+// nextRunnable blocks until a queued sweep exists (returning the best one,
+// marked running) or the service quiesces (returning nil).
+func (s *Server) nextRunnable() *sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if quiesced(s.quiesce) {
+			return nil
+		}
+		var best *sweep
+		for _, sw := range s.order {
+			if sw.state != StateQueued {
+				continue
+			}
+			if best == nil || sw.req.Priority > best.req.Priority ||
+				(sw.req.Priority == best.req.Priority && sw.seq < best.seq) {
+				best = sw
+			}
+		}
+		if best != nil {
+			best.state = StateRunning
+			s.cond.Broadcast()
+			return best
+		}
+		s.cond.Wait()
+	}
+}
+
+// runSweep executes one sweep under its checkpoint journal, streaming
+// outcomes into its buffer (waking stream watchers per range) and recording
+// the terminal state in the queue journal. A quiesce mid-sweep re-queues the
+// sweep instead of failing it: the drained ranges are journaled, so the next
+// run — after restart — resumes behind them.
+func (s *Server) runSweep(sw *sweep) {
+	c := dist.New(dist.Options{
+		Dialer:      s.reg,
+		Shards:      s.opts.Shards,
+		ChunkPoints: s.chunkFor(sw),
+		Instrs:      sw.req.Instrs,
+		Journal:     s.journalPath(sw.id),
+		MaxRetries:  s.opts.MaxRetries,
+		Cache:       s.cache,
+		Quiesce:     s.quiesce,
+	})
+	var terminal error
+	for out, err := range c.Stream(context.Background(), sw.plan) {
+		if err != nil {
+			terminal = err
+			break
+		}
+		s.mu.Lock()
+		sw.buf = append(sw.buf, out)
+		if out.Cached {
+			sw.cached++
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.cond.Broadcast()
+	switch {
+	case terminal == nil:
+		sw.state = StateDone
+		s.fin++
+		sw.completedSeq = s.fin
+		// A failed journal append here must not fail the sweep: the dist
+		// journal already proves completion; restart replays it to done.
+		_ = s.queue.Append(queueRecord{Op: "done", ID: sw.id})
+	case errors.Is(terminal, dist.ErrQuiesced) || quiesced(s.quiesce):
+		// Graceful drain (or a dial aborted by shutdown): back to queued,
+		// progress parked in the journal. No queue record — the journal's
+		// last word on this sweep is still its submission.
+		sw.state = StateQueued
+		sw.buf = nil
+		sw.cached = 0
+	default:
+		sw.state = StateFailed
+		sw.errMsg = terminal.Error()
+		_ = s.queue.Append(queueRecord{Op: "failed", ID: sw.id, Error: terminal.Error()})
+	}
+}
+
+// quiesced reports whether ch has fired.
+func quiesced(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown gracefully drains the service: dispatch stops, in-flight ranges
+// finish and journal, the interrupted sweep (if any) re-queues, the scheduler
+// exits, and the queue journal closes. Safe to call more than once.
+func (s *Server) Shutdown() error {
+	s.quiesceFn.Do(func() {
+		close(s.quiesce)
+		s.mu.Lock()
+		s.cond.Broadcast() // release nextRunnable and stream watchers
+		s.mu.Unlock()
+		s.reg.Close() // release coordinator dials blocked on an empty pool
+	})
+	<-s.schedDone
+	return s.queue.Close()
+}
+
+// Stream copies one sweep's completion-order outcomes to fn, starting at
+// frame index from (the reconnect cursor: a client that saw n frames resumes
+// with from=n and misses nothing). It blocks over live sweeps — following the
+// buffer as ranges land — and returns once the sweep's terminal state has
+// been delivered, ctx ends, or fn errs. Frames after a restart replay in the
+// journal's deterministic range order, which may differ from the original
+// completion order; cursors do not transfer across restarts.
+func (s *Server) Stream(ctx context.Context, id string, from int, fn func(StreamFrame) error) error {
+	s.mu.Lock()
+	sw, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("svc: unknown job %q", id)
+	}
+	if from < 0 {
+		from = 0
+	}
+	// A context death must wake the cond wait below, not strand it.
+	wake := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer wake()
+
+	next := from
+	for {
+		s.mu.Lock()
+		for ctx.Err() == nil && next >= len(sw.buf) && sw.state != StateDone && sw.state != StateFailed && !quiesced(s.quiesce) {
+			s.cond.Wait()
+		}
+		var batch []engine.RunOutcome
+		if next < len(sw.buf) {
+			batch = sw.buf[next:len(sw.buf):len(sw.buf)]
+		}
+		state, errMsg := sw.state, sw.errMsg
+		s.mu.Unlock()
+
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, out := range batch {
+			f := StreamFrame{Type: "outcome", Seq: next, Outcome: &out}
+			if err := fn(f); err != nil {
+				return err
+			}
+			next++
+		}
+		switch state {
+		case StateDone:
+			return fn(StreamFrame{Type: "done", Seq: next})
+		case StateFailed:
+			return fn(StreamFrame{Type: "error", Seq: next, Error: errMsg})
+		}
+		if quiesced(s.quiesce) {
+			return fn(StreamFrame{Type: "error", Seq: next, Error: dist.ErrQuiesced.Error()})
+		}
+	}
+}
+
+// StreamFrame is one NDJSON stream record. Seq is the frame's index in the
+// sweep's completion order — the cursor a reconnecting client passes back as
+// from. The terminal done/error frame carries Seq = total outcome count.
+type StreamFrame struct {
+	Type    string             `json:"type"` // "outcome" | "done" | "error"
+	Seq     int                `json:"seq"`
+	Outcome *engine.RunOutcome `json:"outcome,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
